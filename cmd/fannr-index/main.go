@@ -1,0 +1,137 @@
+// Command fannr-index builds road-network indexes (hub labels, G-tree,
+// contraction hierarchy) and persists them to disk, so repeated query or
+// benchmark sessions skip the construction cost the paper reports in
+// Fig. 9.
+//
+// Examples:
+//
+//	fannr-index -dataset NW -scale 0.0625 -kind phl -out nw.phl
+//	fannr-index -gr nw.gr -co nw.co -kind gtree -out nw.gtree
+//	fannr-index -dataset NW -kind all -out nw       # nw.phl nw.gtree nw.ch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fannr"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "NW", "Table III dataset name (synthetic)")
+		scale   = flag.Float64("scale", 1.0/64, "dataset scale")
+		grFile  = flag.String("gr", "", "DIMACS .gr file (overrides -dataset)")
+		coFile  = flag.String("co", "", "DIMACS .co coordinate file")
+		kind    = flag.String("kind", "all", "index kind: phl | gtree | ch | all")
+		out     = flag.String("out", "index", "output path (suffixes added for -kind all)")
+		leaf    = flag.Int("gtree-leaf", 256, "G-tree max leaf size (tau)")
+	)
+	flag.Parse()
+	if err := run(*dataset, *scale, *grFile, *coFile, *kind, *out, *leaf); err != nil {
+		fmt.Fprintln(os.Stderr, "fannr-index:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf int) error {
+	g, err := loadGraph(dataset, scale, grFile, coFile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
+
+	save := func(name string, build func(w io.Writer) (int64, error)) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		start := time.Now()
+		bytes, err := build(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: ~%.1f MB in %s\n", name, float64(bytes)/1e6,
+			time.Since(start).Round(time.Millisecond))
+		return f.Close()
+	}
+
+	wants := func(k string) bool { return kind == k || kind == "all" }
+	suffix := func(k string) string {
+		if kind == "all" {
+			return out + "." + k
+		}
+		return out
+	}
+	did := false
+	if wants("phl") {
+		did = true
+		if err := save(suffix("phl"), func(w io.Writer) (int64, error) {
+			ix, err := fannr.BuildPHL(g, fannr.PHLOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return ix.MemoryBytes(), ix.Save(w)
+		}); err != nil {
+			return err
+		}
+	}
+	if wants("gtree") {
+		did = true
+		if err := save(suffix("gtree"), func(w io.Writer) (int64, error) {
+			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{MaxLeafSize: leaf})
+			if err != nil {
+				return 0, err
+			}
+			return tr.Stats().MemoryBytes, tr.Save(w)
+		}); err != nil {
+			return err
+		}
+	}
+	if wants("ch") {
+		did = true
+		if err := save(suffix("ch"), func(w io.Writer) (int64, error) {
+			ix, err := fannr.BuildCH(g, fannr.CHOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return ix.MemoryBytes(), ix.Save(w)
+		}); err != nil {
+			return err
+		}
+	}
+	if !did {
+		return fmt.Errorf("unknown index kind %q", kind)
+	}
+	return nil
+}
+
+func loadGraph(dataset string, scale float64, grFile, coFile string) (*fannr.Graph, error) {
+	if grFile == "" {
+		return fannr.LoadDataset(dataset, scale)
+	}
+	gr, err := os.Open(grFile)
+	if err != nil {
+		return nil, err
+	}
+	defer gr.Close()
+	var co io.Reader
+	if coFile != "" {
+		f, err := os.Open(coFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		co = f
+	}
+	g, err := fannr.ReadDIMACS(gr, co)
+	if err != nil {
+		return nil, err
+	}
+	lcc, _, err := fannr.LargestComponent(g)
+	return lcc, err
+}

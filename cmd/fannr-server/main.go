@@ -1,0 +1,87 @@
+// Command fannr-server serves FANN_R queries over HTTP.
+//
+//	fannr-server -dataset NW -scale 0.015625 -addr :8080 -engines PHL,GTree
+//
+// Endpoints:
+//
+//	GET  /health  liveness
+//	GET  /meta    dataset + available engines
+//	POST /fann    {"p":[...],"q":[...],"phi":0.5,"agg":"max","algo":"ier",
+//	               "engine":"IER-PHL","k":1}
+//	POST /dist    {"u":1,"v":2}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"fannr"
+	"fannr/internal/core"
+	"fannr/internal/server"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "NW", "Table III dataset name (synthetic)")
+		scale   = flag.Float64("scale", 1.0/64, "dataset scale")
+		addr    = flag.String("addr", ":8080", "listen address")
+		engines = flag.String("engines", "PHL", "indexes to build at startup: comma-separated from PHL,GTree,CH")
+	)
+	flag.Parse()
+	if err := run(*dataset, *scale, *addr, *engines); err != nil {
+		fmt.Fprintln(os.Stderr, "fannr-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, addr, engines string) error {
+	g, err := fannr.LoadDataset(dataset, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
+
+	opts := server.Options{}
+	var gtreeEngine core.GPhi
+	for _, name := range strings.Split(engines, ",") {
+		switch strings.TrimSpace(name) {
+		case "", "INE", "A*":
+			// always available
+		case "PHL":
+			fmt.Println("building hub labels...")
+			ix, err := fannr.BuildPHL(g, fannr.PHLOptions{})
+			if err != nil {
+				return err
+			}
+			opts.PHL = ix
+		case "GTree":
+			fmt.Println("building G-tree...")
+			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{})
+			if err != nil {
+				return err
+			}
+			gtreeEngine = fannr.NewGTreeGPhi(tr)
+		case "CH":
+			fmt.Println("building contraction hierarchy...")
+			ix, err := fannr.BuildCH(g, fannr.CHOptions{})
+			if err != nil {
+				return err
+			}
+			opts.CH = ix.NewQuerier()
+		default:
+			return fmt.Errorf("unknown engine %q", name)
+		}
+	}
+	srv, err := server.New(g, opts)
+	if err != nil {
+		return err
+	}
+	if gtreeEngine != nil {
+		srv.AddEngine("GTree", gtreeEngine)
+	}
+	fmt.Printf("listening on %s\n", addr)
+	return http.ListenAndServe(addr, srv.Handler())
+}

@@ -1,0 +1,217 @@
+// Command fannr runs a single FANN_R or k-FANN_R query against a
+// synthetic or DIMACS road network and prints the answer with timing.
+//
+// Examples:
+//
+//	fannr -dataset NW -scale 0.01 -algo exactmax -phi 0.5 -m 128
+//	fannr -gr de.gr -co de.co -algo ier -engine PHL -agg sum -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fannr"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "NW", "Table III dataset name (synthetic)")
+		scale   = flag.Float64("scale", 1.0/64, "dataset scale relative to the paper's node counts")
+		grFile  = flag.String("gr", "", "DIMACS .gr file (overrides -dataset)")
+		coFile  = flag.String("co", "", "DIMACS .co coordinate file")
+		algo    = flag.String("algo", "ier", "algorithm: gd | rlist | ier | exactmax | apxsum")
+		engine  = flag.String("engine", "PHL", "g_phi engine: INE | A* | PHL | GTree | IER-A* | IER-PHL | IER-GTree")
+		agg     = flag.String("agg", "max", "aggregate: max | sum")
+		phi     = flag.Float64("phi", 0.5, "flexibility in (0,1]")
+		density = flag.Float64("d", 0.001, "density of P (|P| = d|V|)")
+		cover   = flag.Float64("a", 0.10, "coverage ratio of Q")
+		m       = flag.Int("m", 128, "|Q|")
+		c       = flag.Int("c", 1, "query clusters (1 = uniform)")
+		kAns    = flag.Int("k", 1, "answers to return (k-FANN_R when > 1)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		lonlat  = flag.Bool("lonlat", false, "treat DIMACS coordinates as lon/lat and reproject (tightens Euclidean bounds)")
+		verify  = flag.Bool("verify", false, "independently verify each answer against Definition 2")
+	)
+	flag.Parse()
+	if err := run(*dataset, *scale, *grFile, *coFile, *algo, *engine, *agg,
+		*phi, *density, *cover, *m, *c, *kAns, *seed, *lonlat, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "fannr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, grFile, coFile, algo, engine, agg string,
+	phi, density, cover float64, m, c, kAns int, seed int64, lonlat, verify bool) error {
+	g, err := loadGraph(dataset, scale, grFile, coFile)
+	if err != nil {
+		return err
+	}
+	if lonlat && g.HasCoords() {
+		if g, err = fannr.Reproject(g, fannr.EquirectangularFor(g)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("network: %s  |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
+
+	gen := fannr.NewWorkloadGenerator(g, seed)
+	P := gen.UniformP(density)
+	var Q []fannr.NodeID
+	if c <= 1 {
+		Q = gen.UniformQ(cover, m)
+	} else {
+		Q = gen.ClusteredQ(cover, m, c)
+	}
+	q := fannr.Query{P: P, Q: Q, Phi: phi}
+	switch strings.ToLower(agg) {
+	case "max":
+		q.Agg = fannr.Max
+	case "sum":
+		q.Agg = fannr.Sum
+	default:
+		return fmt.Errorf("unknown aggregate %q", agg)
+	}
+	fmt.Printf("query: |P|=%d |Q|=%d phi=%g k=%d agg=%s algo=%s engine=%s\n",
+		len(P), len(Q), phi, q.K(), q.Agg, algo, engine)
+
+	gp, err := buildEngine(g, engine)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var answers []fannr.Answer
+	switch strings.ToLower(algo) {
+	case "gd":
+		answers, err = runMaybeK(kAns,
+			func() (fannr.Answer, error) { return fannr.GD(g, gp, q) },
+			func() ([]fannr.Answer, error) { return fannr.KGD(g, gp, q, kAns) })
+	case "rlist":
+		answers, err = runMaybeK(kAns,
+			func() (fannr.Answer, error) { return fannr.RList(g, gp, q) },
+			func() ([]fannr.Answer, error) { return fannr.KRList(g, gp, q, kAns) })
+	case "ier":
+		rtP := fannr.BuildPTree(g, q.P)
+		answers, err = runMaybeK(kAns,
+			func() (fannr.Answer, error) { return fannr.IERKNN(g, rtP, gp, q, fannr.IEROptions{}) },
+			func() ([]fannr.Answer, error) { return fannr.KIERKNN(g, rtP, gp, q, kAns, fannr.IEROptions{}) })
+	case "exactmax":
+		answers, err = runMaybeK(kAns,
+			func() (fannr.Answer, error) { return fannr.ExactMax(g, gp, q) },
+			func() ([]fannr.Answer, error) { return fannr.KExactMax(g, gp, q, kAns) })
+	case "apxsum":
+		if kAns > 1 {
+			return fmt.Errorf("APX-sum has no k-FANN_R adaptation (see the paper, §V)")
+		}
+		answers, err = runMaybeK(1,
+			func() (fannr.Answer, error) { return fannr.APXSum(g, gp, q) }, nil)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	for i, a := range answers {
+		fmt.Printf("answer %d: p*=%d  d*=%.3f  |Q*_phi|=%d\n", i+1, a.P, a.Dist, len(a.Subset))
+		fmt.Printf("  Q*_phi: %v\n", a.Subset)
+		if verify {
+			if err := fannr.Verify(g, q, a); err != nil {
+				return fmt.Errorf("verification failed: %w", err)
+			}
+			fmt.Println("  verified ok")
+		}
+	}
+	fmt.Printf("query time: %s\n", elapsed)
+	return nil
+}
+
+func runMaybeK(kAns int, one func() (fannr.Answer, error), many func() ([]fannr.Answer, error)) ([]fannr.Answer, error) {
+	if kAns <= 1 || many == nil {
+		a, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return []fannr.Answer{a}, nil
+	}
+	return many()
+}
+
+func loadGraph(dataset string, scale float64, grFile, coFile string) (*fannr.Graph, error) {
+	if grFile == "" {
+		return fannr.LoadDataset(dataset, scale)
+	}
+	gr, err := os.Open(grFile)
+	if err != nil {
+		return nil, err
+	}
+	defer gr.Close()
+	var co io.Reader
+	if coFile != "" {
+		f, err := os.Open(coFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		co = f
+	}
+	g, err := fannr.ReadDIMACS(gr, co)
+	if err != nil {
+		return nil, err
+	}
+	lcc, _, err := fannr.LargestComponent(g)
+	return lcc, err
+}
+
+// buildEngine constructs the requested g_φ engine, building only the
+// indexes it needs (PHL labels and G-trees take time on big networks).
+func buildEngine(g *fannr.Graph, name string) (fannr.GPhi, error) {
+	buildPHL := func() (*fannr.PHLIndex, error) {
+		fmt.Println("building hub labels...")
+		return fannr.BuildPHL(g, fannr.PHLOptions{})
+	}
+	buildGTree := func() (*fannr.GTree, error) {
+		fmt.Println("building G-tree...")
+		return fannr.BuildGTree(g, fannr.GTreeOptions{})
+	}
+	switch name {
+	case "INE":
+		return fannr.NewINE(g), nil
+	case "A*":
+		return fannr.NewOracleGPhi("A*", fannr.NewAStar(g)), nil
+	case "BiDijkstra":
+		return fannr.NewOracleGPhi("BiDijkstra", fannr.NewBiDijkstra(g)), nil
+	case "PHL":
+		ix, err := buildPHL()
+		if err != nil {
+			return nil, err
+		}
+		return fannr.NewOracleGPhi("PHL", ix), nil
+	case "GTree":
+		tr, err := buildGTree()
+		if err != nil {
+			return nil, err
+		}
+		return fannr.NewGTreeGPhi(tr), nil
+	case "IER-A*":
+		return fannr.NewIERGPhi("IER-A*", g, fannr.NewAStar(g))
+	case "IER-PHL":
+		ix, err := buildPHL()
+		if err != nil {
+			return nil, err
+		}
+		return fannr.NewIERGPhi("IER-PHL", g, ix)
+	case "IER-GTree":
+		tr, err := buildGTree()
+		if err != nil {
+			return nil, err
+		}
+		return fannr.NewIERGPhi("IER-GTree", g, tr.NewQuerier())
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}

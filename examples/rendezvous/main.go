@@ -1,0 +1,53 @@
+// Rendezvous: the optimal meeting point (OMP) query as a special case of
+// FANN_R (§I of the paper: "we can also regard the OMP query as a special
+// case of the FANN_R query"). A group of friends scattered across town
+// picks a street corner to meet at — any network node, no candidate list —
+// minimizing either the latest arrival (max) or the total travel (sum).
+// The flexible variant plans for the realistic case where only some
+// fraction shows up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fannr"
+)
+
+func main() {
+	g, err := fannr.LoadDataset("DE", 1.0/16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := fannr.NewWorkloadGenerator(g, 17)
+	friends := gen.ClusteredQ(0.6, 12, 3) // 12 friends in 3 neighborhoods
+	fmt.Printf("town: %d corners; %d friends in 3 neighborhoods\n\n",
+		g.NumNodes(), len(friends))
+
+	gp := fannr.NewINE(g)
+
+	meetMax, err := fannr.OMP(g, gp, friends, fannr.Max)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimize the latest arrival (max): meet at node %d, last friend travels %.0f\n",
+		meetMax.P, meetMax.Dist)
+
+	meetSum, err := fannr.OMP(g, gp, friends, fannr.Sum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimize total travel (sum):       meet at node %d, combined travel %.0f\n\n",
+		meetSum.P, meetSum.Dist)
+
+	fmt.Println("if only a fraction phi of the group shows up (flexible OMP, max):")
+	fmt.Printf("%6s %10s %14s %s\n", "phi", "corner", "latest arrival", "who is served")
+	for _, phi := range []float64{0.25, 0.5, 0.75, 1.0} {
+		ans, err := fannr.FlexibleOMP(g, gp, friends, phi, fannr.Max)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.2f %10d %14.0f %v\n", phi, ans.P, ans.Dist, ans.Subset)
+	}
+	fmt.Println("\nsmall phi snaps the rendezvous into one neighborhood; phi = 1 is the classic OMP.")
+}

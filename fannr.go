@@ -1,0 +1,308 @@
+// Package fannr is a pure-Go library for flexible aggregate nearest
+// neighbor queries in road networks (FANN_R), reproducing "Flexible
+// Aggregate Nearest Neighbor Queries in Road Networks" (ICDE 2018).
+//
+// Given a road network G, data points P, query points Q, a flexibility
+// φ ∈ (0,1] and an aggregate g ∈ {max, sum}, an FANN_R query returns the
+// data point minimizing the aggregate network distance to its ⌈φ|Q|⌉
+// nearest query points — e.g., the best place for a logistics center that
+// only needs to supply half of the camps, or a meeting venue that only
+// needs a quorum present.
+//
+// # Quickstart
+//
+//	g, _ := fannr.Generate(fannr.GenConfig{Nodes: 10000, Seed: 1})
+//	gp := fannr.NewINE(g) // index-free g_φ engine
+//	ans, _ := fannr.GD(g, gp, fannr.Query{
+//		P: p, Q: q, Phi: 0.5, Agg: fannr.Max,
+//	})
+//	fmt.Println(ans.P, ans.Dist, ans.Subset)
+//
+// Algorithms: GD (enumerate P), RList (threshold algorithm), IERKNN
+// (best-first over an R-tree on P), ExactMax (counter-based exact max),
+// APXSum (3-approximate sum), and K* top-k variants. Engines: INE
+// (index-free), point-to-point oracles (A*, bidirectional Dijkstra, hub
+// labels, G-tree), and IER engines combining an R-tree over Q with any
+// oracle.
+//
+// This root package is a facade re-exporting the implementation packages
+// under internal/; see DESIGN.md for the architecture and EXPERIMENTS.md
+// for the reproduced evaluation.
+package fannr
+
+import (
+	"io"
+
+	"fannr/internal/ch"
+	"fannr/internal/core"
+	"fannr/internal/exp"
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+	"fannr/internal/phl"
+	"fannr/internal/rtree"
+	"fannr/internal/server"
+	"fannr/internal/sp"
+	"fannr/internal/workload"
+)
+
+// Road-network substrate.
+type (
+	// Graph is an immutable road network (undirected, weighted, with
+	// optional planar coordinates).
+	Graph = graph.Graph
+	// Builder constructs a Graph from nodes and edges.
+	Builder = graph.Builder
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// NodeID identifies a node; ids are dense in [0, NumNodes).
+	NodeID = graph.NodeID
+	// GenConfig controls the synthetic road-network generator.
+	GenConfig = graph.GenConfig
+)
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Generate builds a synthetic road network (jittered grid with highway
+// overlay, reduced to its largest connected component).
+func Generate(cfg GenConfig) (*Graph, error) { return graph.Generate(cfg) }
+
+// ReadDIMACS parses a 9th-DIMACS-challenge .gr stream and optional .co
+// coordinate stream.
+func ReadDIMACS(gr, co io.Reader) (*Graph, error) { return graph.ReadDIMACS(gr, co) }
+
+// WriteDIMACS writes a graph in DIMACS format.
+func WriteDIMACS(g *Graph, gr, co io.Writer) error { return graph.WriteDIMACS(g, gr, co) }
+
+// LargestComponent extracts the largest connected component.
+func LargestComponent(g *Graph) (*Graph, []NodeID, error) { return graph.LargestComponent(g) }
+
+// Projection maps coordinates into a new planar frame.
+type Projection = graph.Projection
+
+// Equirectangular returns a lon/lat projection at the given mid-latitude.
+func Equirectangular(midLatDegrees float64) Projection {
+	return graph.Equirectangular(midLatDegrees)
+}
+
+// EquirectangularFor derives the projection from a graph's coordinate
+// bounding box (handles the DIMACS microdegree convention).
+func EquirectangularFor(g *Graph) Projection { return graph.EquirectangularFor(g) }
+
+// Reproject rebuilds g with every coordinate passed through proj,
+// recalibrating the Euclidean lower bounds for the new frame.
+func Reproject(g *Graph, proj Projection) (*Graph, error) { return graph.Reproject(g, proj) }
+
+// SplitEdge places a new vertex on edge (u,v) at fraction t of its
+// weight — the exact treatment for query or data objects that lie on an
+// edge (§II-A of the paper).
+func SplitEdge(g *Graph, u, v NodeID, t float64) (*Graph, NodeID, error) {
+	return graph.SplitEdge(g, u, v, t)
+}
+
+// ContractChains collapses degree-2 chains into single edges, preserving
+// distances among retained vertices — the standard simplification pass
+// for raw DIMACS networks. keep pins extra vertices (e.g., POI hosts).
+func ContractChains(g *Graph, keep func(NodeID) bool) (*Graph, []NodeID, error) {
+	return graph.ContractChains(g, keep)
+}
+
+// Queries and answers.
+type (
+	// Query is an FANN_R query (P, Q, φ, g).
+	Query = core.Query
+	// Answer is the result triple (p*, Q*_φ, d*).
+	Answer = core.Answer
+	// Aggregate selects max or sum.
+	Aggregate = core.Aggregate
+	// GPhi computes the flexible aggregate function g_φ(p, Q).
+	GPhi = core.GPhi
+	// Oracle answers exact shortest-path distance queries.
+	Oracle = core.Oracle
+	// IEROptions tunes the IER-kNN framework.
+	IEROptions = core.IEROptions
+)
+
+// Aggregates.
+const (
+	Max = core.Max
+	Sum = core.Sum
+)
+
+// ErrNoResult is returned when no data point reaches ⌈φ|Q|⌉ query points.
+var ErrNoResult = core.ErrNoResult
+
+// FANN_R algorithms (see package core for the paper mapping).
+var (
+	// GD enumerates P, evaluating g_φ on every data point (§III-A).
+	GD = core.GD
+	// RList is the threshold algorithm over per-query-point queues (§III-B).
+	RList = core.RList
+	// IERKNN is the best-first IER-kNN framework (Algorithm 1).
+	IERKNN = core.IERKNN
+	// ExactMax is the counter-based exact algorithm for max (Algorithm 2).
+	ExactMax = core.ExactMax
+	// APXSum is the 3-approximation for sum (Algorithm 3).
+	APXSum = core.APXSum
+	// Brute is the unoptimized reference solver.
+	Brute = core.Brute
+	// APXSumRatioBound returns 2 when Q ⊆ P, else 3 (Theorems 1-2).
+	APXSumRatioBound = core.APXSumRatioBound
+	// Verify checks an Answer against Definition 2 by independent
+	// computation.
+	Verify = core.Verify
+
+	// KGD, KRList, KIERKNN, KExactMax, KBrute answer k-FANN_R queries (§V).
+	KGD       = core.KGD
+	KRList    = core.KRList
+	KIERKNN   = core.KIERKNN
+	KExactMax = core.KExactMax
+	KBrute    = core.KBrute
+	// KAPXSum is fannr's beyond-paper top-k extension of APX-sum (the
+	// rank-1 answer keeps the 3-approximation bound; deeper ranks are
+	// heuristic).
+	KAPXSum = core.KAPXSum
+
+	// BuildPTree indexes P in an R-tree for IERKNN.
+	BuildPTree = core.BuildPTree
+
+	// ANN answers the classic aggregate nearest neighbor query (FANN_R at
+	// φ = 1).
+	ANN = core.ANN
+	// OMP answers the optimal meeting point query (FANN_R over an
+	// implicit P = V, φ = 1).
+	OMP = core.OMP
+	// FlexibleOMP is OMP with a flexibility parameter.
+	FlexibleOMP = core.FlexibleOMP
+)
+
+// g_φ engines (Table I of the paper).
+var (
+	// NewINE returns the index-free incremental-network-expansion engine.
+	NewINE = core.NewINE
+	// NewOracleGPhi wraps any distance oracle as a g_φ engine.
+	NewOracleGPhi = core.NewOracleGPhi
+	// NewGTreeGPhi returns the occurrence-list kNN engine over a G-tree.
+	NewGTreeGPhi = core.NewGTreeGPhi
+	// NewIERGPhi combines an R-tree over Q with a distance oracle.
+	NewIERGPhi = core.NewIERGPhi
+)
+
+// Distance oracles and indexes.
+type (
+	// PHLIndex is an exact 2-hop hub-label index (the paper's PHL role).
+	PHLIndex = phl.Index
+	// PHLOptions configures hub-label construction.
+	PHLOptions = phl.Options
+	// GTree is the G-tree road-network index.
+	GTree = gtree.Tree
+	// GTreeOptions configures G-tree construction.
+	GTreeOptions = gtree.Options
+	// RTree is a 2-D R-tree over points.
+	RTree = rtree.Tree
+)
+
+// BuildPHL constructs hub labels for g.
+func BuildPHL(g *Graph, opts PHLOptions) (*PHLIndex, error) { return phl.Build(g, opts) }
+
+// ReadPHL loads hub labels previously persisted with PHLIndex.Save.
+func ReadPHL(r io.Reader) (*PHLIndex, error) { return phl.Read(r) }
+
+// BuildGTree constructs a G-tree for g.
+func BuildGTree(g *Graph, opts GTreeOptions) (*GTree, error) { return gtree.Build(g, opts) }
+
+// ReadGTree loads a G-tree previously persisted with GTree.Save,
+// reattaching it to the graph it was built on.
+func ReadGTree(r io.Reader, g *Graph) (*GTree, error) { return gtree.Read(r, g) }
+
+// ReadCH loads a contraction hierarchy previously persisted with
+// CHIndex.Save.
+func ReadCH(r io.Reader) (*CHIndex, error) { return ch.Read(r) }
+
+// NewDijkstra returns a reusable single-source search engine.
+func NewDijkstra(g *Graph) *sp.Dijkstra { return sp.NewDijkstra(g) }
+
+// NewAStar returns a reusable A* point-to-point engine.
+func NewAStar(g *Graph) *sp.AStar { return sp.NewAStar(g) }
+
+// NewBiDijkstra returns a reusable bidirectional Dijkstra engine.
+func NewBiDijkstra(g *Graph) *sp.BiDijkstra { return sp.NewBiDijkstra(g) }
+
+// NewALT returns an A*-with-landmarks engine (triangle-inequality lower
+// bounds; works without coordinates).
+func NewALT(g *Graph, numLandmarks int) *sp.ALT { return sp.NewALT(g, numLandmarks) }
+
+// Contraction hierarchies (an extension beyond the paper's Table I).
+type (
+	// CHIndex is a contraction-hierarchy shortest-path index.
+	CHIndex = ch.Index
+	// CHOptions tunes CH preprocessing.
+	CHOptions = ch.Options
+)
+
+// BuildCH contracts g into a hierarchy; queriers from the index serve as
+// distance oracles for the g_φ engines.
+func BuildCH(g *Graph, opts CHOptions) (*CHIndex, error) { return ch.Build(g, opts) }
+
+// Workload generation (the paper's §VI-A factors).
+type (
+	// WorkloadParams are the experimental factors d, A, M, C, φ.
+	WorkloadParams = workload.Params
+	// WorkloadGenerator draws P and Q sets over one network.
+	WorkloadGenerator = workload.Generator
+	// POILayer is a Table IV point-of-interest layer.
+	POILayer = workload.POILayer
+)
+
+// NewWorkloadGenerator seeds a generator on g.
+func NewWorkloadGenerator(g *Graph, seed int64) *WorkloadGenerator {
+	return workload.NewGenerator(g, seed)
+}
+
+// DefaultWorkloadParams returns the paper's defaults (d=0.001, A=10%,
+// M=128, C=1, φ=0.5).
+func DefaultWorkloadParams() WorkloadParams { return workload.DefaultParams() }
+
+// POITableIV lists the paper's Table IV POI layers.
+func POITableIV() []POILayer { return workload.TableIV }
+
+// FindPOILayer returns the Table IV layer with the given name.
+func FindPOILayer(name string) (POILayer, error) { return workload.FindPOILayer(name) }
+
+// LoadDataset materializes a Table III dataset at the given scale.
+func LoadDataset(name string, scale float64) (*Graph, error) {
+	return workload.LoadDataset(name, scale)
+}
+
+// HTTP query service.
+type (
+	// QueryServer serves FANN_R queries over HTTP (see internal/server
+	// for the endpoint contract).
+	QueryServer = server.Server
+	// ServerOptions selects which engines the server offers.
+	ServerOptions = server.Options
+	// FANNRequest is the /fann request body.
+	FANNRequest = server.FANNRequest
+	// FANNResponse is the /fann response body.
+	FANNResponse = server.FANNResponse
+)
+
+// NewQueryServer builds an HTTP query server over g.
+func NewQueryServer(g *Graph, opts ServerOptions) (*QueryServer, error) {
+	return server.New(g, opts)
+}
+
+// Experiments (every figure and table of the paper's evaluation).
+type (
+	// ExpConfig controls an experiment run.
+	ExpConfig = exp.Config
+	// ExpTable is a rendered experiment result.
+	ExpTable = exp.Table
+)
+
+// RunExperiment regenerates one of the paper's figures or tables by id
+// (e.g. "fig4a", "table5"); ExperimentIDs lists them.
+func RunExperiment(id string, cfg ExpConfig) ([]*ExpTable, error) { return exp.Run(id, cfg) }
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return exp.ExperimentIDs() }

@@ -1,0 +1,3 @@
+module fannr
+
+go 1.22

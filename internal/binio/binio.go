@@ -1,0 +1,185 @@
+// Package binio provides sticky-error binary readers and writers for the
+// index serialization formats of fannr (hub labels, G-tree, contraction
+// hierarchies). All values are little-endian; slices are length-prefixed
+// with int64 counts validated against a configurable sanity limit so a
+// corrupted stream fails fast instead of allocating absurd buffers.
+package binio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxSliceLen bounds any length prefix accepted by a Reader.
+const MaxSliceLen = 1 << 31
+
+// Writer writes little-endian binary values, remembering the first error.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Err returns the first write error.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output and returns the first error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// Magic writes a fixed-length tag.
+func (w *Writer) Magic(tag string) { w.write([]byte(tag)) }
+
+// I64 writes an int64.
+func (w *Writer) I64(v int64) {
+	binary.LittleEndian.PutUint64(w.buf[:], uint64(v))
+	w.write(w.buf[:8])
+}
+
+// I32 writes an int32.
+func (w *Writer) I32(v int32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], uint32(v))
+	w.write(w.buf[:4])
+}
+
+// F64 writes a float64.
+func (w *Writer) F64(v float64) {
+	binary.LittleEndian.PutUint64(w.buf[:], math.Float64bits(v))
+	w.write(w.buf[:8])
+}
+
+// I32s writes a length-prefixed int32 slice.
+func (w *Writer) I32s(vs []int32) {
+	w.I64(int64(len(vs)))
+	for _, v := range vs {
+		w.I32(v)
+	}
+}
+
+// F64s writes a length-prefixed float64 slice.
+func (w *Writer) F64s(vs []float64) {
+	w.I64(int64(len(vs)))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// Reader reads little-endian binary values, remembering the first error.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Err returns the first read error.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) read(n int) []byte {
+	if r.err != nil {
+		return r.buf[:n]
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:n]); err != nil {
+		r.err = err
+	}
+	return r.buf[:n]
+}
+
+// Magic consumes and verifies a fixed-length tag.
+func (r *Reader) Magic(tag string) {
+	if r.err != nil {
+		return
+	}
+	got := make([]byte, len(tag))
+	if _, err := io.ReadFull(r.r, got); err != nil {
+		r.err = err
+		return
+	}
+	if string(got) != tag {
+		r.err = fmt.Errorf("binio: bad magic %q, want %q", got, tag)
+	}
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 {
+	return int64(binary.LittleEndian.Uint64(r.read(8)))
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 {
+	return int32(binary.LittleEndian.Uint32(r.read(4)))
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.read(8)))
+}
+
+// Len reads and validates a length prefix.
+func (r *Reader) Len() int {
+	n := r.I64()
+	if r.err == nil && (n < 0 || n > MaxSliceLen) {
+		r.err = fmt.Errorf("binio: implausible length %d", n)
+		return 0
+	}
+	if r.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+// I32s reads a length-prefixed int32 slice (nil when empty).
+func (r *Reader) I32s() []int32 {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.I32()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// F64s reads a length-prefixed float64 slice (nil when empty).
+func (r *Reader) F64s() []float64 {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}

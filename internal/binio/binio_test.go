@@ -1,0 +1,142 @@
+package binio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("TEST1\n")
+	w.I64(-42)
+	w.I32(7)
+	w.F64(math.Pi)
+	w.I32s([]int32{1, -2, 3})
+	w.F64s([]float64{0.5, math.Inf(1)})
+	w.I32s(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	r.Magic("TEST1\n")
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.I32(); got != 7 {
+		t.Fatalf("I32 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	is := r.I32s()
+	if len(is) != 3 || is[0] != 1 || is[1] != -2 || is[2] != 3 {
+		t.Fatalf("I32s = %v", is)
+	}
+	fs := r.F64s()
+	if len(fs) != 2 || fs[0] != 0.5 || !math.IsInf(fs[1], 1) {
+		t.Fatalf("F64s = %v", fs)
+	}
+	if got := r.I32s(); got != nil {
+		t.Fatalf("empty I32s = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("AAAA")
+	_ = w.Flush()
+	r := NewReader(&buf)
+	r.Magic("BBBB")
+	if r.Err() == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.I32s([]int32{1, 2, 3, 4, 5})
+	_ = w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(trunc))
+	r.I32s()
+	if r.Err() == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.I64(int64(MaxSliceLen) + 1)
+	_ = w.Flush()
+	r := NewReader(&buf)
+	r.Len()
+	if r.Err() == nil {
+		t.Fatal("implausible length accepted")
+	}
+	var buf2 bytes.Buffer
+	w2 := NewWriter(&buf2)
+	w2.I64(-1)
+	_ = w2.Flush()
+	r2 := NewReader(&buf2)
+	r2.Len()
+	if r2.Err() == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	r.I64() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("empty read should fail")
+	}
+	r.I32()
+	r.F64s()
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+// Property: arbitrary slices round-trip bit-exactly.
+func TestSliceRoundTripProperty(t *testing.T) {
+	f := func(is []int32, fs []float64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.I32s(is)
+		w.F64s(fs)
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		gi := r.I32s()
+		gf := r.F64s()
+		if r.Err() != nil || len(gi) != len(is) || len(gf) != len(fs) {
+			return false
+		}
+		for i := range is {
+			if gi[i] != is[i] {
+				return false
+			}
+		}
+		for i := range fs {
+			if math.Float64bits(gf[i]) != math.Float64bits(fs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package ch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+func randomGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(graph.NodeID(v), graph.NodeID(rng.Intn(v)), 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = b.AddEdge(graph.NodeID(u), graph.NodeID(v), 1+rng.Float64()*9)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDistMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, 120, seed)
+		ix, err := Build(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := ix.NewQuerier()
+		d := sp.NewDijkstra(g)
+		rng := rand.New(rand.NewSource(seed ^ 0xc4))
+		for i := 0; i < 40; i++ {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if math.Abs(q.Dist(u, v)-d.Dist(u, v)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistOnRoadNetwork(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 2000, Seed: 31, Name: "ch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ix.NewQuerier()
+	d := sp.NewDijkstra(g)
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 200; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		want := d.Dist(u, v)
+		if got := q.Dist(u, v); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+	if ix.Shortcuts() == 0 {
+		t.Fatal("no shortcuts added — implausible for a road network")
+	}
+	if ix.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive")
+	}
+}
+
+func TestDistSelfAndDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	_ = b.AddEdge(0, 1, 2)
+	_ = b.AddEdge(1, 2, 3)
+	_ = b.AddEdge(3, 4, 1)
+	g, _ := b.Build()
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ix.NewQuerier()
+	if got := q.Dist(2, 2); got != 0 {
+		t.Fatalf("Dist(v,v) = %v", got)
+	}
+	if got := q.Dist(0, 2); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Dist(0,2) = %v, want 5", got)
+	}
+	if got := q.Dist(0, 4); !math.IsInf(got, 1) {
+		t.Fatalf("cross-component Dist = %v, want +Inf", got)
+	}
+}
+
+func TestTightWitnessLimitStaysCorrect(t *testing.T) {
+	// An aggressive witness limit admits more shortcuts but must never
+	// change answers.
+	g := randomGraph(t, 200, 33)
+	loose, err := Build(g, Options{WitnessSettleLimit: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: limits much below ~10 on dense random graphs cascade (missed
+	// witnesses add shortcuts, which densify the remaining graph, which
+	// misses more witnesses), so 16 is the practical floor here.
+	tight, err := Build(g, Options{WitnessSettleLimit: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Shortcuts() < loose.Shortcuts() {
+		t.Fatalf("tight limit added fewer shortcuts (%d < %d)", tight.Shortcuts(), loose.Shortcuts())
+	}
+	ql, qt := loose.NewQuerier(), tight.NewQuerier()
+	d := sp.NewDijkstra(g)
+	rng := rand.New(rand.NewSource(34))
+	for i := 0; i < 100; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		want := d.Dist(u, v)
+		if math.Abs(ql.Dist(u, v)-want) > 1e-9 || math.Abs(qt.Dist(u, v)-want) > 1e-9 {
+			t.Fatalf("witness-limit variant wrong at (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestQuerySettlesFewNodes(t *testing.T) {
+	// The hierarchy should keep upward searches small: the upward degree
+	// sum bounds work per query far below |V| on road networks.
+	g, err := graph.Generate(graph.GenConfig{Nodes: 4000, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: every node has at least one upward edge except the single
+	// top-ranked node (connected graph).
+	tops := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if ix.upStart[v+1] == ix.upStart[v] {
+			tops++
+		}
+	}
+	if tops < 1 || tops > g.NumNodes()/10 {
+		t.Fatalf("%d nodes without upward edges", tops)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 2000, Seed: 36})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDist(b *testing.B) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 5000, Seed: 37})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(g, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ix.NewQuerier()
+	rng := rand.New(rand.NewSource(38))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		q.Dist(u, v)
+	}
+}

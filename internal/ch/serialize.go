@@ -1,0 +1,61 @@
+package ch
+
+import (
+	"fmt"
+	"io"
+
+	"fannr/internal/binio"
+	"fannr/internal/graph"
+)
+
+const magic = "FANNRCH1\n"
+
+// Save serializes the hierarchy in fannr's little-endian binary format.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(magic)
+	bw.I64(int64(ix.n))
+	bw.I64(int64(ix.shortcuts))
+	bw.I32s(ix.rank)
+	bw.I32s(ix.upStart)
+	bw.I32s(ix.upNode)
+	bw.F64s(ix.upW)
+	return bw.Flush()
+}
+
+// Read deserializes an index written by Save.
+func Read(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(magic)
+	n := int(br.I64())
+	shortcuts := int(br.I64())
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("ch: reading header: %w", err)
+	}
+	if n <= 0 || n > binio.MaxSliceLen {
+		return nil, fmt.Errorf("ch: implausible node count %d", n)
+	}
+	ix := &Index{
+		n:         n,
+		shortcuts: shortcuts,
+		rank:      br.I32s(),
+		upStart:   br.I32s(),
+	}
+	upNode := br.I32s()
+	ix.upW = br.F64s()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("ch: reading arrays: %w", err)
+	}
+	ix.upNode = make([]graph.NodeID, len(upNode))
+	for i, v := range upNode {
+		ix.upNode[i] = graph.NodeID(v)
+	}
+	if len(ix.rank) != n || len(ix.upStart) != n+1 || len(ix.upNode) != len(ix.upW) {
+		return nil, fmt.Errorf("ch: inconsistent array sizes (n=%d rank=%d start=%d node=%d w=%d)",
+			n, len(ix.rank), len(ix.upStart), len(ix.upNode), len(ix.upW))
+	}
+	if int(ix.upStart[n]) != len(ix.upNode) {
+		return nil, fmt.Errorf("ch: CSR end %d != arc count %d", ix.upStart[n], len(ix.upNode))
+	}
+	return ix, nil
+}

@@ -1,0 +1,59 @@
+package ch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fannr/internal/graph"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := randomGraph(t, 250, 60)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Shortcuts() != ix.Shortcuts() || ix2.MemoryBytes() != ix.MemoryBytes() {
+		t.Fatal("metadata changed across round trip")
+	}
+	q1, q2 := ix.NewQuerier(), ix2.NewQuerier()
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 200; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if a, b := q1.Dist(u, v), q2.Dist(u, v); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("Dist(%d,%d) differs after round trip: %v vs %v", u, v, a, b)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	g := randomGraph(t, 60, 62)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{4, len(data) / 3, len(data) - 2} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

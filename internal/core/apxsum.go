@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// APXSum answers a sum-FANN_R query with Algorithm 3 of the paper: the
+// candidate set is reduced to the network nearest neighbor in P of each
+// q ∈ Q (found index-free by expansion from q), and an exact FANN_R scan
+// runs over those ≤ |Q| candidates. Theorem 1 guarantees the result is a
+// 3-approximation; Theorem 2 tightens it to 2 when Q ⊆ P. In the paper's
+// experiments the observed ratio never exceeds 1.2.
+func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
+	if err := q.Validate(g); err != nil {
+		return Answer{}, err
+	}
+	if q.Agg != Sum {
+		return Answer{}, fmt.Errorf("fannr: APXSum requires the sum aggregate, got %v", q.Agg)
+	}
+	pSet := graph.NewNodeSet(g.NumNodes())
+	pSet.AddAll(q.P)
+	seen := graph.NewNodeSet(g.NumNodes())
+	candidates := make([]graph.NodeID, 0, len(q.Q))
+	for _, src := range q.Q {
+		if q.canceled() {
+			return Answer{}, ErrCanceled
+		}
+		nb, ok := sp.NewExpander(g, src, pSet).Peek()
+		if !ok {
+			continue // this query point reaches no data point
+		}
+		if !seen.Contains(nb.Node) {
+			seen.Add(nb.Node, 0)
+			candidates = append(candidates, nb.Node)
+		}
+	}
+	if len(candidates) == 0 {
+		return Answer{}, ErrNoResult
+	}
+	return GD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel})
+}
+
+// APXSumRatioBound returns the proven worst-case approximation ratio for a
+// query: 2 when Q ⊆ P (Theorem 2), 3 otherwise (Theorem 1).
+func APXSumRatioBound(q Query) float64 {
+	inP := make(map[graph.NodeID]bool, len(q.P))
+	for _, p := range q.P {
+		inP[p] = true
+	}
+	for _, v := range q.Q {
+		if !inP[v] {
+			return 3
+		}
+	}
+	return 2
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// Brute answers an FANN_R query by full enumeration with independent
+// machinery (complete SSSP per data point, explicit sort), serving as the
+// reference implementation for tests and for approximation-ratio
+// measurements. It is deliberately unoptimized.
+func Brute(g *graph.Graph, q Query) (Answer, error) {
+	if err := q.Validate(g); err != nil {
+		return Answer{}, err
+	}
+	k := q.K()
+	d := sp.NewDijkstra(g)
+	best := Answer{P: -1, Dist: math.Inf(1)}
+	dists := make([]float64, len(q.Q))
+	idx := make([]int, len(q.Q))
+	for _, p := range q.P {
+		if q.canceled() {
+			return Answer{}, ErrCanceled
+		}
+		all := d.All(p)
+		for i, v := range q.Q {
+			dists[i] = all[v]
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+		val := 0.0
+		if q.Agg == Max {
+			val = dists[idx[k-1]]
+		} else {
+			for _, i := range idx[:k] {
+				val += dists[i]
+			}
+		}
+		if val < best.Dist {
+			best.P = p
+			best.Dist = val
+			best.Subset = best.Subset[:0]
+			for _, i := range idx[:k] {
+				best.Subset = append(best.Subset, q.Q[i])
+			}
+		}
+	}
+	if best.P < 0 || math.IsInf(best.Dist, 1) {
+		return Answer{}, ErrNoResult
+	}
+	return best, nil
+}
+
+// KBrute answers a k-FANN_R query by full enumeration, as the reference
+// for the top-k algorithms. Results are sorted by ascending flexible
+// aggregate distance.
+func KBrute(g *graph.Graph, q Query, kAns int) ([]Answer, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	k := q.K()
+	d := sp.NewDijkstra(g)
+	dists := make([]float64, len(q.Q))
+	idx := make([]int, len(q.Q))
+	var all []Answer
+	for _, p := range q.P {
+		if q.canceled() {
+			return nil, ErrCanceled
+		}
+		sssp := d.All(p)
+		for i, v := range q.Q {
+			dists[i] = sssp[v]
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+		val := 0.0
+		if q.Agg == Max {
+			val = dists[idx[k-1]]
+		} else {
+			for _, i := range idx[:k] {
+				val += dists[i]
+			}
+		}
+		if math.IsInf(val, 1) {
+			continue
+		}
+		subset := make([]graph.NodeID, 0, k)
+		for _, i := range idx[:k] {
+			subset = append(subset, q.Q[i])
+		}
+		all = append(all, Answer{P: p, Dist: val, Subset: subset})
+	}
+	if len(all) == 0 {
+		return nil, ErrNoResult
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Dist < all[b].Dist })
+	if len(all) > kAns {
+		all = all[:kAns]
+	}
+	return all, nil
+}

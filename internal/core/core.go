@@ -1,0 +1,155 @@
+// Package core implements the paper's contribution: flexible aggregate
+// nearest neighbor queries in road networks (FANN_R) and their top-k
+// extension (k-FANN_R).
+//
+// Given data points P, query points Q, a flexibility φ ∈ (0,1] and an
+// aggregate g ∈ {max, sum}, an FANN_R query returns the p* ∈ P minimizing
+// the aggregate network distance to its ⌈φ|Q|⌉ nearest members of Q.
+//
+// The package provides the paper's algorithm suite:
+//
+//   - GD — the generalized Dijkstra-based baseline enumerating P (§III-A)
+//   - RList — the threshold algorithm over per-query-point queues (§III-B)
+//   - IERKNN — the IER-kNN best-first framework over an R-tree on P
+//     (§III-C, Algorithm 1)
+//   - ExactMax — the counter-based exact algorithm for max (§IV-A,
+//     Algorithm 2)
+//   - APXSum — the 3-approximation for sum (§IV-B, Algorithm 3; 2-approx
+//     when Q ⊆ P)
+//   - K* variants answering k-FANN_R (§V)
+//
+// Every algorithm is parameterized by a GPhi engine computing the flexible
+// aggregate function g_φ(p, Q); the engines (INE, A*, PHL, GTree,
+// IER-A*/PHL/GTree) reproduce the paper's Table I.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fannr/internal/graph"
+)
+
+// Aggregate selects the aggregate function g.
+type Aggregate int
+
+const (
+	// Max minimizes the farthest of the chosen query points.
+	Max Aggregate = iota
+	// Sum minimizes the total distance to the chosen query points.
+	Sum
+)
+
+// String returns "max" or "sum".
+func (a Aggregate) String() string {
+	if a == Max {
+		return "max"
+	}
+	return "sum"
+}
+
+// Query is an FANN_R query (G, P, Q, φ, g). The graph travels separately
+// because algorithms differ in how much of it they need.
+type Query struct {
+	P   []graph.NodeID
+	Q   []graph.NodeID
+	Phi float64
+	Agg Aggregate
+	// Cancel, when non-nil, is polled at loop boundaries inside every
+	// algorithm; once it reports true the algorithm returns ErrCanceled
+	// promptly. The experiment harness uses this to enforce time budgets
+	// without leaking runaway searches.
+	Cancel func() bool
+}
+
+// canceled polls the optional cancel hook.
+func (q *Query) canceled() bool { return q.Cancel != nil && q.Cancel() }
+
+// ErrCanceled is returned when a query's Cancel hook reports true.
+var ErrCanceled = errors.New("fannr: query canceled")
+
+// K returns ⌈φ|Q|⌉ clamped to [1, |Q|] — the size of the flexible subset.
+func (q *Query) K() int {
+	k := int(math.Ceil(q.Phi * float64(len(q.Q))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(q.Q) {
+		k = len(q.Q)
+	}
+	return k
+}
+
+// Validate checks the query against a graph.
+func (q *Query) Validate(g *graph.Graph) error {
+	if len(q.P) == 0 {
+		return errors.New("fannr: empty data set P")
+	}
+	if len(q.Q) == 0 {
+		return errors.New("fannr: empty query set Q")
+	}
+	if !(q.Phi > 0 && q.Phi <= 1) {
+		return fmt.Errorf("fannr: flexibility φ = %v outside (0,1]", q.Phi)
+	}
+	n := graph.NodeID(g.NumNodes())
+	for _, p := range q.P {
+		if p < 0 || p >= n {
+			return fmt.Errorf("fannr: data point %d outside graph", p)
+		}
+	}
+	for _, v := range q.Q {
+		if v < 0 || v >= n {
+			return fmt.Errorf("fannr: query point %d outside graph", v)
+		}
+	}
+	return nil
+}
+
+// Answer is the result triple (p*, Q*_φ, d*) of Definition 2.
+type Answer struct {
+	P      graph.NodeID
+	Dist   float64
+	Subset []graph.NodeID // the optimal flexible subset Q*_φ
+}
+
+// ErrNoResult is returned when no data point can reach ⌈φ|Q|⌉ query
+// points (e.g., P and Q in different components).
+var ErrNoResult = errors.New("fannr: no data point reaches ⌈φ|Q|⌉ query points")
+
+// Oracle answers exact network shortest-path distance queries. The sp
+// engines (AStar, BiDijkstra), phl.Index, and gtree.Querier all satisfy
+// it.
+type Oracle interface {
+	Dist(u, v graph.NodeID) float64
+}
+
+// GPhi computes the flexible aggregate function g_φ(p, Q): the optimal
+// flexible subset is always the k = ⌈φ|Q|⌉ network-nearest members of Q,
+// for both aggregates. Engines are stateful and not safe for concurrent
+// use.
+type GPhi interface {
+	// Name identifies the engine in experiment output ("INE", "PHL", ...).
+	Name() string
+	// Reset binds the engine to a query point set; it must be called
+	// before Dist or Subset and whenever Q changes.
+	Reset(Q []graph.NodeID)
+	// Dist returns the flexible aggregate distance g_φ(p, Q). ok is false
+	// when fewer than k query points are reachable from p.
+	Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool)
+	// Subset appends the optimal flexible subset Q^p_φ (the k nearest
+	// query points, ascending) to dst.
+	Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID
+}
+
+// aggOf folds the first k sorted distances.
+func aggOf(dists []float64, k int, agg Aggregate) float64 {
+	if agg == Max {
+		return dists[k-1]
+	}
+	total := 0.0
+	for _, d := range dists[:k] {
+		total += d
+	}
+	return total
+}

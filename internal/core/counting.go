@@ -1,0 +1,43 @@
+package core
+
+import "fannr/internal/graph"
+
+// CountingGPhi wraps a GPhi engine and counts evaluations. The paper's
+// efficiency arguments are statements about g_φ invocation counts — GD
+// evaluates all of P, R-List stops early via its threshold, IER-kNN
+// prunes via Euclidean bounds, and Exact-max "can run the time consuming
+// g_φ only once" — and the wrapper lets tests and experiments assert them
+// directly.
+type CountingGPhi struct {
+	Inner GPhi
+	// Dists counts Dist calls; Subsets counts Subset calls; Resets counts
+	// Reset calls.
+	Dists, Subsets, Resets int64
+}
+
+// NewCounting wraps an engine.
+func NewCounting(inner GPhi) *CountingGPhi { return &CountingGPhi{Inner: inner} }
+
+// Name returns the inner engine's name.
+func (c *CountingGPhi) Name() string { return c.Inner.Name() }
+
+// Reset forwards to the inner engine.
+func (c *CountingGPhi) Reset(Q []graph.NodeID) {
+	c.Resets++
+	c.Inner.Reset(Q)
+}
+
+// Dist forwards to the inner engine.
+func (c *CountingGPhi) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
+	c.Dists++
+	return c.Inner.Dist(p, k, agg)
+}
+
+// Subset forwards to the inner engine.
+func (c *CountingGPhi) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	c.Subsets++
+	return c.Inner.Subset(p, k, dst)
+}
+
+// Zero clears the counters.
+func (c *CountingGPhi) Zero() { c.Dists, c.Subsets, c.Resets = 0, 0, 0 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests turn the paper's efficiency arguments into assertions on
+// g_φ invocation counts.
+
+func TestInvocationCounts(t *testing.T) {
+	env := newTestEnv(t, 800, 60)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 5; trial++ {
+		q := env.randomQuery(rng, 60, 12, 0.5, Max)
+		rtP := BuildPTree(env.g, q.P)
+
+		gd := NewCounting(NewINE(env.g))
+		if _, err := GD(env.g, gd, q); err != nil {
+			t.Fatal(err)
+		}
+		if gd.Dists != int64(len(q.P)) {
+			t.Fatalf("GD evaluated %d points, want |P| = %d", gd.Dists, len(q.P))
+		}
+
+		// Exact-max runs g_φ exactly once (§IV-A): "we can run the time
+		// consuming g_φ only once".
+		em := NewCounting(NewINE(env.g))
+		if _, err := ExactMax(env.g, em, q); err != nil {
+			t.Fatal(err)
+		}
+		if em.Dists != 1 || em.Subsets != 1 {
+			t.Fatalf("Exact-max ran g_φ %d times (+%d subsets), want exactly 1",
+				em.Dists, em.Subsets)
+		}
+
+		// R-List and IER-kNN terminate early: never more evaluations than
+		// GD's full enumeration.
+		rl := NewCounting(NewINE(env.g))
+		if _, err := RList(env.g, rl, q); err != nil {
+			t.Fatal(err)
+		}
+		if rl.Dists > int64(len(q.P)) {
+			t.Fatalf("R-List evaluated %d > |P| = %d points", rl.Dists, len(q.P))
+		}
+
+		ier := NewCounting(NewINE(env.g))
+		if _, err := IERKNN(env.g, rtP, ier, q, IEROptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if ier.Dists > int64(len(q.P)) {
+			t.Fatalf("IER-kNN evaluated %d > |P| = %d points", ier.Dists, len(q.P))
+		}
+
+		// APX-sum examines at most |Q| candidates (Algorithm 3).
+		qs := q
+		qs.Agg = Sum
+		apx := NewCounting(NewINE(env.g))
+		if _, err := APXSum(env.g, apx, qs); err != nil {
+			t.Fatal(err)
+		}
+		if apx.Dists > int64(len(q.Q)) {
+			t.Fatalf("APX-sum evaluated %d > |Q| = %d candidates", apx.Dists, len(q.Q))
+		}
+	}
+}
+
+// The IER-kNN Euclidean bound should prune meaningfully on clustered
+// workloads: with Q concentrated in one corner, far-away data points are
+// never evaluated.
+func TestIERPrunesAgainstGD(t *testing.T) {
+	env := newTestEnv(t, 1000, 62)
+	rng := rand.New(rand.NewSource(63))
+	totalGD, totalIER := int64(0), int64(0)
+	for trial := 0; trial < 8; trial++ {
+		q := env.randomQuery(rng, 120, 10, 0.5, Max)
+		rtP := BuildPTree(env.g, q.P)
+		ier := NewCounting(NewINE(env.g))
+		if _, err := IERKNN(env.g, rtP, ier, q, IEROptions{}); err != nil {
+			t.Fatal(err)
+		}
+		totalGD += int64(len(q.P))
+		totalIER += ier.Dists
+	}
+	if totalIER >= totalGD {
+		t.Fatalf("IER-kNN evaluated %d of %d candidates — no pruning at all", totalIER, totalGD)
+	}
+	t.Logf("IER-kNN evaluated %d of %d candidates (%.0f%% pruned)",
+		totalIER, totalGD, 100*(1-float64(totalIER)/float64(totalGD)))
+}
+
+func TestCountingZeroAndName(t *testing.T) {
+	env := newTestEnv(t, 200, 64)
+	c := NewCounting(NewINE(env.g))
+	if c.Name() != "INE" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	c.Reset([]int32{1, 2})
+	c.Dist(3, 1, Max)
+	c.Subset(3, 1, nil)
+	if c.Resets != 1 || c.Dists != 1 || c.Subsets != 1 {
+		t.Fatalf("counters %d/%d/%d", c.Resets, c.Dists, c.Subsets)
+	}
+	c.Zero()
+	if c.Resets != 0 || c.Dists != 0 || c.Subsets != 0 {
+		t.Fatal("Zero did not clear counters")
+	}
+}

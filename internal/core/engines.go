@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+	"fannr/internal/pqueue"
+	"fannr/internal/rtree"
+	"fannr/internal/sp"
+)
+
+// This file provides the g_φ engines of the paper's Table I:
+//
+//	INE        — incremental network expansion (no index)
+//	A*/PHL/... — NewOracleGPhi: one point-to-point distance per q ∈ Q
+//	GTree      — occurrence-list kNN over the G-tree
+//	IER-*      — NewIERGPhi: R-tree over Q + incremental Euclidean
+//	             restriction around a distance oracle (IER-A*, IER-PHL,
+//	             IER-GTree — the "IER²" building block of §III-C)
+
+// NewINE returns the INE engine: a Dijkstra expansion from p that stops
+// once k query points settle.
+func NewINE(g *graph.Graph) GPhi {
+	return &ineEngine{
+		d:       sp.NewDijkstra(g),
+		targets: graph.NewNodeSet(g.NumNodes()),
+	}
+}
+
+type ineEngine struct {
+	d       *sp.Dijkstra
+	targets *graph.NodeSet
+	buf     []sp.Neighbor
+}
+
+func (e *ineEngine) Name() string { return "INE" }
+
+func (e *ineEngine) Reset(Q []graph.NodeID) {
+	e.targets.Reset()
+	e.targets.AddAll(Q)
+}
+
+func (e *ineEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
+	e.buf = e.d.KNNAmong(p, e.targets, k, e.buf[:0])
+	return aggSorted(e.buf, k, agg)
+}
+
+func (e *ineEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	e.buf = e.d.KNNAmong(p, e.targets, k, e.buf[:0])
+	for _, nb := range e.buf {
+		dst = append(dst, nb.Node)
+	}
+	return dst
+}
+
+// aggSorted folds a sorted ascending neighbor list.
+func aggSorted(nbrs []sp.Neighbor, k int, agg Aggregate) (float64, bool) {
+	if len(nbrs) < k {
+		return math.Inf(1), false
+	}
+	if agg == Max {
+		return nbrs[k-1].Dist, true
+	}
+	total := 0.0
+	for _, nb := range nbrs[:k] {
+		total += nb.Dist
+	}
+	return total, true
+}
+
+// NewOracleGPhi returns an engine that evaluates g_φ by computing the
+// distance from p to every q ∈ Q through a point-to-point oracle and
+// aggregating the k smallest. With an sp.AStar oracle this is the paper's
+// "A*" engine; with phl.Index it is "PHL"; with a gtree.Querier it is the
+// matrix-assembly SPSP variant.
+func NewOracleGPhi(name string, o Oracle) GPhi {
+	return &oracleEngine{name: name, o: o}
+}
+
+type oracleEngine struct {
+	name string
+	o    Oracle
+	q    []graph.NodeID
+	dbuf []float64
+	nbuf []sp.Neighbor
+}
+
+func (e *oracleEngine) Name() string { return e.name }
+
+func (e *oracleEngine) Reset(Q []graph.NodeID) { e.q = Q }
+
+func (e *oracleEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
+	if k > len(e.q) {
+		return math.Inf(1), false
+	}
+	e.dbuf = e.dbuf[:0]
+	for _, q := range e.q {
+		e.dbuf = append(e.dbuf, e.o.Dist(p, q))
+	}
+	d := flexAgg(e.dbuf, k, agg)
+	if math.IsInf(d, 1) {
+		return d, false
+	}
+	return d, true
+}
+
+func (e *oracleEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	e.nbuf = e.nbuf[:0]
+	for _, q := range e.q {
+		if d := e.o.Dist(p, q); !math.IsInf(d, 1) {
+			e.nbuf = append(e.nbuf, sp.Neighbor{Node: q, Dist: d})
+		}
+	}
+	sort.Slice(e.nbuf, func(i, j int) bool { return e.nbuf[i].Dist < e.nbuf[j].Dist })
+	if k > len(e.nbuf) {
+		k = len(e.nbuf)
+	}
+	for _, nb := range e.nbuf[:k] {
+		dst = append(dst, nb.Node)
+	}
+	return dst
+}
+
+// NewGTreeGPhi returns the "GTree" engine: occurrence-list kNN search over
+// a prebuilt G-tree (Table I: G-tree + Occ indexes).
+func NewGTreeGPhi(t *gtree.Tree) GPhi {
+	return &gtreeEngine{t: t, q: t.NewQuerier()}
+}
+
+type gtreeEngine struct {
+	t    *gtree.Tree
+	q    *gtree.Querier
+	objs *gtree.ObjectSet
+	buf  []sp.Neighbor
+}
+
+func (e *gtreeEngine) Name() string { return "GTree" }
+
+func (e *gtreeEngine) Reset(Q []graph.NodeID) { e.objs = e.t.NewObjectSet(Q) }
+
+func (e *gtreeEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
+	e.buf = e.q.KNN(p, e.objs, k, e.buf[:0])
+	return aggSorted(e.buf, k, agg)
+}
+
+func (e *gtreeEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	e.buf = e.q.KNN(p, e.objs, k, e.buf[:0])
+	for _, nb := range e.buf {
+		dst = append(dst, nb.Node)
+	}
+	return dst
+}
+
+// NewIERGPhi returns an engine that evaluates g_φ with incremental
+// Euclidean restriction over an R-tree built on Q: query points surface in
+// Euclidean order, their network distances come from the oracle, and the
+// scan stops when the scaled Euclidean lower bound of the next candidate
+// cannot improve the k-th best network distance. The graph must carry
+// coordinates.
+func NewIERGPhi(name string, g *graph.Graph, o Oracle) (GPhi, error) {
+	if !g.HasCoords() {
+		return nil, fmt.Errorf("fannr: engine %s needs coordinates for Euclidean restriction", name)
+	}
+	return &ierEngine{
+		name: name,
+		g:    g,
+		o:    o,
+		best: pqueue.NewMaxHeap[graph.NodeID](16),
+	}, nil
+}
+
+type ierEngine struct {
+	name string
+	g    *graph.Graph
+	o    Oracle
+	rt   *rtree.Tree
+	best *pqueue.MaxHeap[graph.NodeID]
+	buf  []sp.Neighbor
+}
+
+func (e *ierEngine) Name() string { return e.name }
+
+func (e *ierEngine) Reset(Q []graph.NodeID) {
+	pts := make([]rtree.Point, len(Q))
+	for i, q := range Q {
+		x, y := e.g.Coord(q)
+		pts[i] = rtree.Point{X: x, Y: y, ID: q}
+	}
+	e.rt = rtree.BulkLoad(pts, rtree.DefaultFanout)
+}
+
+// kNearest runs the IER scan, leaving the k nearest query points sorted
+// ascending in e.buf.
+func (e *ierEngine) kNearest(p graph.NodeID, k int) []sp.Neighbor {
+	px, py := e.g.Coord(p)
+	it := e.rt.IncNN(px, py)
+	e.best.Reset()
+	for {
+		lb := e.g.ScaleEuclid(it.Peek())
+		if e.best.Len() == k && lb >= e.best.Max().Key {
+			break
+		}
+		pt, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		nd := e.o.Dist(p, pt.ID)
+		if math.IsInf(nd, 1) {
+			continue
+		}
+		if e.best.Len() < k {
+			e.best.Push(nd, pt.ID)
+		} else if nd < e.best.Max().Key {
+			e.best.Pop()
+			e.best.Push(nd, pt.ID)
+		}
+	}
+	e.buf = e.buf[:0]
+	for _, it := range e.best.Items() {
+		e.buf = append(e.buf, sp.Neighbor{Node: it.Value, Dist: it.Key})
+	}
+	sort.Slice(e.buf, func(i, j int) bool { return e.buf[i].Dist < e.buf[j].Dist })
+	return e.buf
+}
+
+func (e *ierEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
+	return aggSorted(e.kNearest(p, k), k, agg)
+}
+
+func (e *ierEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	for _, nb := range e.kNearest(p, k) {
+		dst = append(dst, nb.Node)
+	}
+	return dst
+}

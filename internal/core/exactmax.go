@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"fannr/internal/graph"
+)
+
+// ExactMax answers a max-FANN_R query with Algorithm 2 of the paper: the
+// switchable multi-source expansion pops the globally nearest (q, p) pair
+// and counts how many query points have surfaced each data point; the
+// first p whose counter reaches k = ⌈φ|Q|⌉ is exactly p*, because queue
+// heads surface in globally nondecreasing distance order. The expensive
+// g_φ runs only once, on the winner — which is why the engine choice
+// barely matters for this algorithm (Table V).
+//
+// The aggregate must be Max: the §IV-A counter-example (reproduced in the
+// tests) shows the counting argument is unsound for Sum.
+func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
+	if err := q.Validate(g); err != nil {
+		return Answer{}, err
+	}
+	if q.Agg != Max {
+		return Answer{}, fmt.Errorf("fannr: ExactMax requires the max aggregate, got %v", q.Agg)
+	}
+	k := q.K()
+	pool := newExpanderPool(g, q)
+	count := make(map[graph.NodeID]int, 64)
+	for {
+		if q.canceled() {
+			return Answer{}, ErrCanceled
+		}
+		_, p, _, ok := pool.pop()
+		if !ok {
+			return Answer{}, ErrNoResult
+		}
+		count[p]++
+		if count[p] >= k {
+			gp.Reset(q.Q)
+			d, ok := gp.Dist(p, k, q.Agg)
+			if !ok {
+				return Answer{}, ErrNoResult
+			}
+			return Answer{P: p, Dist: d, Subset: gp.Subset(p, k, nil)}, nil
+		}
+	}
+}

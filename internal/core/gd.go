@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math"
+
+	"fannr/internal/graph"
+)
+
+// GD answers an FANN_R query with the generalized Dijkstra-based algorithm
+// of §III-A: evaluate g_φ(p, Q) for every p ∈ P and keep the minimum. The
+// paper calls the INE instantiation "Baseline" and the family "GD"; any
+// engine plugs in.
+func GD(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
+	if err := q.Validate(g); err != nil {
+		return Answer{}, err
+	}
+	k := q.K()
+	gp.Reset(q.Q)
+	best := Answer{P: -1, Dist: math.Inf(1)}
+	for _, p := range q.P {
+		if q.canceled() {
+			return Answer{}, ErrCanceled
+		}
+		d, ok := gp.Dist(p, k, q.Agg)
+		if ok && d < best.Dist {
+			best.P = p
+			best.Dist = d
+		}
+	}
+	if best.P < 0 {
+		return Answer{}, ErrNoResult
+	}
+	best.Subset = gp.Subset(best.P, k, nil)
+	return best, nil
+}

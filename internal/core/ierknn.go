@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+
+	"fannr/internal/graph"
+	"fannr/internal/pqueue"
+	"fannr/internal/rtree"
+)
+
+// IEROptions tunes the IER-kNN framework.
+type IEROptions struct {
+	// CheapBound replaces the flexible Euclidean aggregate g^ε_φ(e, Q)
+	// with the cheaper d(e, Q) bound of §III-C: mdist to the MBR of Q for
+	// max, k·mdist for sum. It is looser but costs O(1) instead of O(|Q|)
+	// per entry; the paper suggests it for the IER² engines.
+	CheapBound bool
+}
+
+// BuildPTree indexes the data points of a query in an R-tree so repeated
+// IERKNN calls over the same P can share it. The graph must carry
+// coordinates.
+func BuildPTree(g *graph.Graph, P []graph.NodeID) *rtree.Tree {
+	pts := make([]rtree.Point, len(P))
+	for i, p := range P {
+		x, y := g.Coord(p)
+		pts[i] = rtree.Point{X: x, Y: y, ID: p}
+	}
+	return rtree.BulkLoad(pts, rtree.DefaultFanout)
+}
+
+// ierSearch is the shared best-first traversal behind IERKNN and KIERKNN.
+// stop receives each candidate bound before expansion and reports whether
+// the search can terminate; eval is invoked for every surfaced data
+// point.
+type ierSearch struct {
+	g       *graph.Graph
+	qx, qy  []float64 // query point coordinates
+	qRect   rtree.Rect
+	k       int
+	agg     Aggregate
+	opts    IEROptions
+	scratch []float64
+	pq      *pqueue.Heap[ierEntry]
+	cancel  func() bool
+}
+
+type ierEntry struct {
+	node  *rtree.Node // nil for point entries
+	point graph.NodeID
+	x, y  float64
+}
+
+func newIERSearch(g *graph.Graph, rtP *rtree.Tree, q Query, opts IEROptions) *ierSearch {
+	s := &ierSearch{
+		g:       g,
+		qx:      make([]float64, len(q.Q)),
+		qy:      make([]float64, len(q.Q)),
+		qRect:   rtree.EmptyRect(),
+		k:       q.K(),
+		agg:     q.Agg,
+		opts:    opts,
+		scratch: make([]float64, len(q.Q)),
+		pq:      pqueue.NewHeap[ierEntry](64),
+		cancel:  q.Cancel,
+	}
+	for i, v := range q.Q {
+		x, y := g.Coord(v)
+		s.qx[i], s.qy[i] = x, y
+		s.qRect = s.qRect.Union(rtree.PointRect(x, y))
+	}
+	if rtP.Len() > 0 {
+		root := rtP.Root()
+		s.pq.Push(s.boundNode(root), ierEntry{node: root})
+	}
+	return s
+}
+
+// boundNode computes the admissible network-distance lower bound for an
+// R-tree node: either the flexible Euclidean aggregate g^ε_φ(e, Q)
+// (Lemma 1) or the cheap d(e, Q) bound.
+func (s *ierSearch) boundNode(n *rtree.Node) float64 {
+	if s.opts.CheapBound {
+		d := s.g.ScaleEuclid(n.Rect().MinDistRect(s.qRect))
+		if s.agg == Sum {
+			d *= float64(s.k)
+		}
+		return d
+	}
+	r := n.Rect()
+	for i := range s.qx {
+		s.scratch[i] = r.MinDist(s.qx[i], s.qy[i])
+	}
+	return s.g.ScaleEuclid(flexAgg(s.scratch, s.k, s.agg))
+}
+
+// boundPoint is boundNode for a single data point.
+func (s *ierSearch) boundPoint(x, y float64) float64 {
+	if s.opts.CheapBound {
+		d := s.g.ScaleEuclid(s.qRect.MinDist(x, y))
+		if s.agg == Sum {
+			d *= float64(s.k)
+		}
+		return d
+	}
+	for i := range s.qx {
+		s.scratch[i] = math.Hypot(s.qx[i]-x, s.qy[i]-y)
+	}
+	return s.g.ScaleEuclid(flexAgg(s.scratch, s.k, s.agg))
+}
+
+// run drives Algorithm 1: pop entries in bound order, stop as soon as the
+// head bound cannot beat the incumbent (per kth), expand nodes, and hand
+// data points to eval. It returns ErrCanceled if the query's cancel hook
+// fires.
+func (s *ierSearch) run(kth func() float64, eval func(p graph.NodeID)) error {
+	for s.pq.Len() > 0 {
+		if s.cancel != nil && s.cancel() {
+			return ErrCanceled
+		}
+		top := s.pq.Min()
+		if top.Key >= kth() {
+			break
+		}
+		s.pq.Pop()
+		e := top.Value
+		if e.node == nil {
+			eval(e.point)
+			continue
+		}
+		if e.node.IsLeaf() {
+			for _, p := range e.node.Points() {
+				s.pq.Push(s.boundPoint(p.X, p.Y), ierEntry{point: p.ID, x: p.X, y: p.Y})
+			}
+		} else {
+			for _, c := range e.node.Children() {
+				s.pq.Push(s.boundNode(c), ierEntry{node: c})
+			}
+		}
+	}
+	return nil
+}
+
+// IERKNN answers an FANN_R query with the IER-kNN framework (Algorithm 1):
+// a best-first scan of the R-tree over P ordered by the flexible Euclidean
+// aggregate, evaluating the network g_φ only on surviving data points. The
+// graph must carry coordinates.
+func IERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, opts IEROptions) (Answer, error) {
+	if err := q.Validate(g); err != nil {
+		return Answer{}, err
+	}
+	k := q.K()
+	gp.Reset(q.Q)
+	s := newIERSearch(g, rtP, q, opts)
+	best := Answer{P: -1, Dist: math.Inf(1)}
+	err := s.run(
+		func() float64 { return best.Dist },
+		func(p graph.NodeID) {
+			if d, ok := gp.Dist(p, k, q.Agg); ok && d < best.Dist {
+				best.P = p
+				best.Dist = d
+			}
+		},
+	)
+	if err != nil {
+		return Answer{}, err
+	}
+	if best.P < 0 {
+		return Answer{}, ErrNoResult
+	}
+	best.Subset = gp.Subset(best.P, k, nil)
+	return best, nil
+}

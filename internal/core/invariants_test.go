@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// Property tests for the structural invariants of FANN_R, run over random
+// road networks and query sets via testing/quick.
+
+// quickEnv builds a small environment per property-check invocation.
+func quickEnv(t *testing.T, seed int64) (*graph.Graph, GPhi, *rand.Rand) {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{Nodes: 220, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, NewINE(g), rand.New(rand.NewSource(seed ^ 0x1ee7))
+}
+
+func pick(rng *rand.Rand, n, count int) []graph.NodeID {
+	seen := map[int32]bool{}
+	out := make([]graph.NodeID, 0, count)
+	for len(out) < count {
+		v := int32(rng.Intn(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// d* is nondecreasing in φ: serving more query points can only cost more.
+func TestMonotoneInPhi(t *testing.T) {
+	f := func(seed int64) bool {
+		g, gp, rng := quickEnv(t, seed)
+		q := Query{P: pick(rng, g.NumNodes(), 12), Q: pick(rng, g.NumNodes(), 8)}
+		for _, agg := range []Aggregate{Max, Sum} {
+			prev := -1.0
+			for _, phi := range []float64{0.125, 0.25, 0.5, 0.75, 1.0} {
+				q.Phi = phi
+				q.Agg = agg
+				ans, err := GD(g, gp, q)
+				if err != nil {
+					return false
+				}
+				if ans.Dist < prev-1e-9 {
+					return false
+				}
+				prev = ans.Dist
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adding data points can only improve (or preserve) the optimum; adding
+// query points can never improve the optimal max.
+func TestMonotoneInP(t *testing.T) {
+	f := func(seed int64) bool {
+		g, gp, rng := quickEnv(t, seed)
+		P := pick(rng, g.NumNodes(), 16)
+		Q := pick(rng, g.NumNodes(), 8)
+		q := Query{P: P[:8], Q: Q, Phi: 0.5, Agg: Max}
+		small, err := GD(g, gp, q)
+		if err != nil {
+			return false
+		}
+		q.P = P
+		large, err := GD(g, gp, q)
+		if err != nil {
+			return false
+		}
+		return large.Dist <= small.Dist+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The k-FANN_R rank-1 answer matches the FANN_R answer, and the distance
+// profile is nondecreasing (prefix property).
+func TestKFANNPrefixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, gp, rng := quickEnv(t, seed)
+		q := Query{P: pick(rng, g.NumNodes(), 14), Q: pick(rng, g.NumNodes(), 7), Phi: 0.5, Agg: Max}
+		one, err := GD(g, gp, q)
+		if err != nil {
+			return false
+		}
+		many, err := KGD(g, gp, q, 5)
+		if err != nil {
+			return false
+		}
+		if math.Abs(many[0].Dist-one.Dist) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(many); i++ {
+			if many[i].Dist < many[i-1].Dist-1e-12 {
+				return false
+			}
+		}
+		// Each larger k extends the same distance profile.
+		fewer, err := KGD(g, gp, q, 3)
+		if err != nil {
+			return false
+		}
+		for i := range fewer {
+			if math.Abs(fewer[i].Dist-many[i].Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The flexible Euclidean aggregate used by IER-kNN is admissible: it never
+// exceeds the network flexible aggregate (Lemma 1).
+func TestLemma1Admissibility(t *testing.T) {
+	f := func(seed int64) bool {
+		g, gp, rng := quickEnv(t, seed)
+		Q := pick(rng, g.NumNodes(), 10)
+		q := Query{P: pick(rng, g.NumNodes(), 10), Q: Q, Phi: 0.5, Agg: Max}
+		gp.Reset(Q)
+		k := q.K()
+		rtP := BuildPTree(g, q.P)
+		s := newIERSearch(g, rtP, q, IEROptions{})
+		for _, p := range q.P {
+			x, y := g.Coord(p)
+			lb := s.boundPoint(x, y)
+			d, ok := gp.Dist(p, k, q.Agg)
+			if ok && lb > d+1e-9 {
+				return false
+			}
+		}
+		// The cheap bound of §III-C is admissible too.
+		sCheap := newIERSearch(g, rtP, q, IEROptions{CheapBound: true})
+		for _, p := range q.P {
+			x, y := g.Coord(p)
+			lb := sCheap.boundPoint(x, y)
+			d, ok := gp.Dist(p, k, q.Agg)
+			if ok && lb > d+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The reported subset is exactly the k network-nearest query points.
+func TestSubsetIsKNearest(t *testing.T) {
+	f := func(seed int64) bool {
+		g, gp, rng := quickEnv(t, seed)
+		q := Query{P: pick(rng, g.NumNodes(), 10), Q: pick(rng, g.NumNodes(), 9), Phi: 0.4, Agg: Sum}
+		ans, err := GD(g, gp, q)
+		if err != nil {
+			return false
+		}
+		// Recompute distances from ans.P to all of Q; the subset's worst
+		// member must be no farther than any excluded member.
+		gp.Reset(q.Q)
+		worstIn := 0.0
+		inSubset := map[graph.NodeID]bool{}
+		for _, v := range ans.Subset {
+			inSubset[v] = true
+		}
+		dists := map[graph.NodeID]float64{}
+		for _, v := range q.Q {
+			d, _ := distTo(g, ans.P, v)
+			dists[v] = d
+			if inSubset[v] && d > worstIn {
+				worstIn = d
+			}
+		}
+		for _, v := range q.Q {
+			if !inSubset[v] && dists[v] < worstIn-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// propDijkstra caches one Dijkstra engine per graph across property
+// iterations.
+var propDijkstra = map[*graph.Graph]*sp.Dijkstra{}
+
+func distTo(g *graph.Graph, u, v graph.NodeID) (float64, bool) {
+	d, ok := propDijkstra[g]
+	if !ok {
+		d = sp.NewDijkstra(g)
+		propDijkstra[g] = d
+	}
+	return d.Dist(u, v), true
+}

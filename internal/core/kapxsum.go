@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// KAPXSum extends APX-sum to k-FANN_R queries. The paper notes (§V) that
+// all algorithms except APX-sum adapt to top-k; this is the natural
+// extension beyond the paper: collect the nearest AND second-nearest data
+// point of every query point as candidates (so the candidate pool cannot
+// collapse below k when query points share nearest neighbors), then rank
+// the pool exactly.
+//
+// The answers are exact over the candidate pool. The rank-1 answer
+// retains APX-sum's 3-approximation guarantee (the Theorem 1 candidate is
+// in the pool); deeper ranks are heuristic — there is no proven bound,
+// which is why the paper stopped at k = 1. Results may contain fewer than
+// kAns entries when the pool is smaller.
+func KAPXSum(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
+	if err := validateK(g, q, kAns); err != nil {
+		return nil, err
+	}
+	if q.Agg != Sum {
+		return nil, fmt.Errorf("fannr: KAPXSum requires the sum aggregate, got %v", q.Agg)
+	}
+	pSet := graph.NewNodeSet(g.NumNodes())
+	pSet.AddAll(q.P)
+	seen := graph.NewNodeSet(g.NumNodes())
+	candidates := make([]graph.NodeID, 0, 2*len(q.Q))
+	for _, src := range q.Q {
+		if q.canceled() {
+			return nil, ErrCanceled
+		}
+		e := sp.NewExpander(g, src, pSet)
+		for picked := 0; picked < 2; picked++ {
+			nb, ok := e.Next()
+			if !ok {
+				break
+			}
+			if !seen.Contains(nb.Node) {
+				seen.Add(nb.Node, 0)
+				candidates = append(candidates, nb.Node)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoResult
+	}
+	return KGD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel}, kAns)
+}

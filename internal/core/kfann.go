@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fannr/internal/graph"
+	"fannr/internal/pqueue"
+	"fannr/internal/rtree"
+)
+
+// This file adapts the FANN_R algorithms to k-FANN_R (Definition 3, §V):
+// return the kAns data points with the smallest flexible aggregate
+// distances. Every adaptation keeps a bounded incumbent set and compares
+// its termination bound against the kAns-th best instead of the single
+// best. APX-sum is the one algorithm the paper does not adapt.
+
+// topK maintains the kAns best candidates seen so far.
+type topK struct {
+	h *pqueue.MaxHeap[graph.NodeID]
+	k int
+}
+
+func newTopK(k int) *topK {
+	return &topK{h: pqueue.NewMaxHeap[graph.NodeID](k), k: k}
+}
+
+func (t *topK) offer(p graph.NodeID, d float64) {
+	if t.h.Len() < t.k {
+		t.h.Push(d, p)
+	} else if d < t.h.Max().Key {
+		t.h.Pop()
+		t.h.Push(d, p)
+	}
+}
+
+// kth returns the current kAns-th best distance (Inf until full).
+func (t *topK) kth() float64 {
+	if t.h.Len() < t.k {
+		return math.Inf(1)
+	}
+	return t.h.Max().Key
+}
+
+// answers drains the incumbents into ascending order and fills subsets.
+func (t *topK) answers(gp GPhi, kSub int) []Answer {
+	out := make([]Answer, t.h.Len())
+	for i := t.h.Len() - 1; i >= 0; i-- {
+		it := t.h.Pop()
+		out[i] = Answer{P: it.Value, Dist: it.Key}
+	}
+	for i := range out {
+		out[i].Subset = gp.Subset(out[i].P, kSub, nil)
+	}
+	return out
+}
+
+func validateK(g *graph.Graph, q Query, kAns int) error {
+	if kAns < 1 {
+		return fmt.Errorf("fannr: k-FANN_R needs k >= 1, got %d", kAns)
+	}
+	return q.Validate(g)
+}
+
+// KGD answers a k-FANN_R query by enumerating P and keeping the kAns best
+// (§V: "update the queue when enumerating the P").
+func KGD(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
+	if err := validateK(g, q, kAns); err != nil {
+		return nil, err
+	}
+	k := q.K()
+	gp.Reset(q.Q)
+	top := newTopK(kAns)
+	for _, p := range q.P {
+		if q.canceled() {
+			return nil, ErrCanceled
+		}
+		if d, ok := gp.Dist(p, k, q.Agg); ok {
+			top.offer(p, d)
+		}
+	}
+	if top.h.Len() == 0 {
+		return nil, ErrNoResult
+	}
+	return top.answers(gp, k), nil
+}
+
+// KRList answers a k-FANN_R query with the R-List adaptation: terminate
+// when the threshold τ reaches the kAns-th smallest incumbent distance.
+func KRList(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
+	if err := validateK(g, q, kAns); err != nil {
+		return nil, err
+	}
+	k := q.K()
+	gp.Reset(q.Q)
+	pool := newExpanderPool(g, q)
+	seen := graph.NewNodeSet(g.NumNodes())
+	top := newTopK(kAns)
+	scratch := make([]float64, 0, len(q.Q))
+	for {
+		if q.canceled() {
+			return nil, ErrCanceled
+		}
+		if top.kth() <= pool.threshold(k, q.Agg, scratch) {
+			break
+		}
+		_, p, _, ok := pool.pop()
+		if !ok {
+			break
+		}
+		if seen.Contains(p) {
+			continue
+		}
+		seen.Add(p, 0)
+		if d, ok := gp.Dist(p, k, q.Agg); ok {
+			top.offer(p, d)
+		}
+	}
+	if top.h.Len() == 0 {
+		return nil, ErrNoResult
+	}
+	return top.answers(gp, k), nil
+}
+
+// KIERKNN answers a k-FANN_R query with the IER-kNN adaptation: the
+// best-first scan terminates when the head bound reaches the kAns-th
+// smallest incumbent distance.
+func KIERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, kAns int, opts IEROptions) ([]Answer, error) {
+	if err := validateK(g, q, kAns); err != nil {
+		return nil, err
+	}
+	k := q.K()
+	gp.Reset(q.Q)
+	s := newIERSearch(g, rtP, q, opts)
+	top := newTopK(kAns)
+	if err := s.run(top.kth, func(p graph.NodeID) {
+		if d, ok := gp.Dist(p, k, q.Agg); ok {
+			top.offer(p, d)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if top.h.Len() == 0 {
+		return nil, ErrNoResult
+	}
+	return top.answers(gp, k), nil
+}
+
+// KExactMax answers a k-max-FANN_R query with the Exact-max adaptation:
+// expansion continues until kAns distinct counters reach ⌈φ|Q|⌉; the
+// saturation order is exactly ascending flexible max distance.
+func KExactMax(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
+	if err := validateK(g, q, kAns); err != nil {
+		return nil, err
+	}
+	if q.Agg != Max {
+		return nil, fmt.Errorf("fannr: KExactMax requires the max aggregate, got %v", q.Agg)
+	}
+	k := q.K()
+	pool := newExpanderPool(g, q)
+	count := make(map[graph.NodeID]int, 64)
+	winners := make([]graph.NodeID, 0, kAns)
+	for len(winners) < kAns {
+		if q.canceled() {
+			return nil, ErrCanceled
+		}
+		_, p, _, ok := pool.pop()
+		if !ok {
+			break
+		}
+		count[p]++
+		if count[p] == k {
+			winners = append(winners, p)
+		}
+	}
+	if len(winners) == 0 {
+		return nil, ErrNoResult
+	}
+	gp.Reset(q.Q)
+	out := make([]Answer, 0, len(winners))
+	for _, p := range winners {
+		d, ok := gp.Dist(p, k, q.Agg)
+		if !ok {
+			continue
+		}
+		out = append(out, Answer{P: p, Dist: d, Subset: gp.Subset(p, k, nil)})
+	}
+	if len(out) == 0 {
+		return nil, ErrNoResult
+	}
+	return out, nil
+}

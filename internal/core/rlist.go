@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"fannr/internal/graph"
+	"fannr/internal/pqueue"
+	"fannr/internal/sp"
+)
+
+// expanderPool is the shared machinery of R-List and Exact-max: one
+// resumable Dijkstra per q ∈ Q reporting members of P from near to far,
+// plus a meta-heap that always surfaces the lane whose head data point is
+// globally nearest (the paper's "switchable" multi-source expansion).
+type expanderPool struct {
+	lanes []*sp.Expander
+	heads []float64 // current head distance per lane (Inf when exhausted)
+	meta  *pqueue.Heap[int]
+	pSet  *graph.NodeSet
+}
+
+func newExpanderPool(g *graph.Graph, q Query) *expanderPool {
+	pool := &expanderPool{
+		lanes: make([]*sp.Expander, len(q.Q)),
+		heads: make([]float64, len(q.Q)),
+		meta:  pqueue.NewHeap[int](len(q.Q)),
+		pSet:  graph.NewNodeSet(g.NumNodes()),
+	}
+	pool.pSet.AddAll(q.P)
+	for i, src := range q.Q {
+		pool.lanes[i] = sp.NewExpander(g, src, pool.pSet)
+		if nb, ok := pool.lanes[i].Peek(); ok {
+			pool.heads[i] = nb.Dist
+			pool.meta.Push(nb.Dist, i)
+		} else {
+			pool.heads[i] = math.Inf(1)
+		}
+	}
+	return pool
+}
+
+// pop removes and returns the globally nearest queue head: the lane index,
+// the surfaced data point, and its distance. ok is false when every lane
+// is exhausted.
+func (pool *expanderPool) pop() (lane int, p graph.NodeID, dist float64, ok bool) {
+	for pool.meta.Len() > 0 {
+		it := pool.meta.Pop()
+		lane = it.Value
+		if it.Key != pool.heads[lane] {
+			continue // stale entry from an earlier head
+		}
+		nb, _ := pool.lanes[lane].Next()
+		if next, ok2 := pool.lanes[lane].Peek(); ok2 {
+			pool.heads[lane] = next.Dist
+			pool.meta.Push(next.Dist, lane)
+		} else {
+			pool.heads[lane] = math.Inf(1)
+		}
+		return lane, nb.Node, nb.Dist, true
+	}
+	return 0, 0, 0, false
+}
+
+// threshold computes the paper's early-termination bound τ: any data point
+// not yet surfaced by lane i is at distance ≥ heads[i] from q_i, so its
+// flexible aggregate distance is at least the aggregate of the k smallest
+// head distances. scratch must have capacity |Q|.
+func (pool *expanderPool) threshold(k int, agg Aggregate, scratch []float64) float64 {
+	scratch = append(scratch[:0], pool.heads...)
+	sort.Float64s(scratch)
+	if agg == Max {
+		return scratch[k-1]
+	}
+	total := 0.0
+	for _, d := range scratch[:k] {
+		total += d
+	}
+	return total
+}
+
+// RList answers an FANN_R query with the threshold algorithm of §III-B:
+// data points surface from-near-to-far per query point; each new point is
+// evaluated with g_φ; the search stops as soon as the incumbent beats the
+// bound τ derived from the queue heads.
+func RList(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
+	if err := q.Validate(g); err != nil {
+		return Answer{}, err
+	}
+	k := q.K()
+	gp.Reset(q.Q)
+	pool := newExpanderPool(g, q)
+	seen := graph.NewNodeSet(g.NumNodes())
+	best := Answer{P: -1, Dist: math.Inf(1)}
+	scratch := make([]float64, 0, len(q.Q))
+	for {
+		if q.canceled() {
+			return Answer{}, ErrCanceled
+		}
+		if best.P >= 0 && best.Dist <= pool.threshold(k, q.Agg, scratch) {
+			break
+		}
+		_, p, _, ok := pool.pop()
+		if !ok {
+			break // every lane exhausted
+		}
+		if seen.Contains(p) {
+			continue
+		}
+		seen.Add(p, 0)
+		if d, ok := gp.Dist(p, k, q.Agg); ok && d < best.Dist {
+			best.P = p
+			best.Dist = d
+		}
+	}
+	if best.P < 0 {
+		return Answer{}, ErrNoResult
+	}
+	best.Subset = gp.Subset(best.P, k, nil)
+	return best, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+// partialSelect rearranges dists so that the k smallest values occupy
+// dists[:k] (unordered), using iterative quickselect with median-of-three
+// pivots. It is the O(m) kernel behind the Euclidean flexible aggregate
+// g^ε_φ, which the IER-kNN framework evaluates for every R-tree entry it
+// touches.
+func partialSelect(dists []float64, k int) {
+	lo, hi := 0, len(dists)
+	if k <= 0 || k >= hi {
+		return
+	}
+	for hi-lo > 1 {
+		p := medianOfThree(dists, lo, hi)
+		// Hoare-style partition around pivot value p.
+		i, j := lo, hi-1
+		for i <= j {
+			for dists[i] < p {
+				i++
+			}
+			for dists[j] > p {
+				j--
+			}
+			if i <= j {
+				dists[i], dists[j] = dists[j], dists[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j+1:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return // the boundary falls inside the pivot run
+		}
+	}
+}
+
+func medianOfThree(d []float64, lo, hi int) float64 {
+	a, b, c := d[lo], d[(lo+hi)/2], d[hi-1]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
+}
+
+// maxOfFirst returns the maximum of dists[:k].
+func maxOfFirst(dists []float64, k int) float64 {
+	m := dists[0]
+	for _, d := range dists[1:k] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// sumOfFirst returns the sum of dists[:k].
+func sumOfFirst(dists []float64, k int) float64 {
+	total := 0.0
+	for _, d := range dists[:k] {
+		total += d
+	}
+	return total
+}
+
+// flexAgg selects the k smallest of dists (rearranging the slice) and
+// folds them with agg. This is the common "aggregate of the k nearest"
+// step shared by every g_φ engine and the Euclidean bound.
+func flexAgg(dists []float64, k int, agg Aggregate) float64 {
+	partialSelect(dists, k)
+	if agg == Max {
+		return maxOfFirst(dists, k)
+	}
+	return sumOfFirst(dists, k)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// Verify checks an Answer against Definition 2 by independent Dijkstra
+// computation: the data point must belong to P, the subset must be k
+// distinct members of Q whose aggregate distance equals Dist, and no
+// other flexible subset of the same size can do better for this data
+// point. It does NOT re-derive the global argmin over P (that costs a
+// full query); callers wanting end-to-end certainty compare against
+// Brute. Exported so downstream users can sanity-check results from any
+// engine or algorithm combination.
+func Verify(g *graph.Graph, q Query, a Answer) error {
+	if err := q.Validate(g); err != nil {
+		return err
+	}
+	k := q.K()
+	inP := false
+	for _, p := range q.P {
+		if p == a.P {
+			inP = true
+			break
+		}
+	}
+	if !inP {
+		return fmt.Errorf("fannr: answer point %d not in P", a.P)
+	}
+	if len(a.Subset) != k {
+		return fmt.Errorf("fannr: subset has %d members, want k = %d", len(a.Subset), k)
+	}
+	inQ := make(map[graph.NodeID]int, len(q.Q))
+	for _, v := range q.Q {
+		inQ[v]++
+	}
+	seen := make(map[graph.NodeID]bool, k)
+	for _, v := range a.Subset {
+		if inQ[v] == 0 {
+			return fmt.Errorf("fannr: subset member %d not in Q", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("fannr: subset member %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	d := sp.NewDijkstra(g)
+	all := d.All(a.P)
+	agg := 0.0
+	for _, v := range a.Subset {
+		if math.IsInf(all[v], 1) {
+			return fmt.Errorf("fannr: subset member %d unreachable from %d", v, a.P)
+		}
+		if q.Agg == Max {
+			agg = math.Max(agg, all[v])
+		} else {
+			agg += all[v]
+		}
+	}
+	if math.Abs(agg-a.Dist) > 1e-6*(1+math.Abs(a.Dist)) {
+		return fmt.Errorf("fannr: subset aggregates to %v but answer reports %v", agg, a.Dist)
+	}
+	// Optimality of the subset for this data point: the k nearest members
+	// of Q achieve the minimum aggregate.
+	dists := make([]float64, 0, len(q.Q))
+	for _, v := range q.Q {
+		dists = append(dists, all[v])
+	}
+	best := flexAgg(dists, k, q.Agg)
+	if agg > best+1e-6*(1+math.Abs(best)) {
+		return fmt.Errorf("fannr: subset aggregate %v beaten by optimal flexible subset %v", agg, best)
+	}
+	return nil
+}

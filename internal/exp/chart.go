@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the table as an ASCII line chart (one letter marker
+// per series), using a log y-axis when values span more than two orders
+// of magnitude — the scale the paper's figures use. It complements Render
+// by making curve shapes and crossovers visible in terminal output.
+func (t *Table) RenderChart(w io.Writer) {
+	const height = 14
+	const colWidth = 10
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range t.Series {
+		for _, c := range s.Cells {
+			if c.DNF || c.Skip || c.Value <= 0 {
+				continue
+			}
+			any = true
+			minV = math.Min(minV, c.Value)
+			maxV = math.Max(maxV, c.Value)
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "%s: no plottable values\n", t.ID)
+		return
+	}
+	logScale := maxV/minV > 100
+	scale := func(v float64) float64 {
+		if logScale {
+			return math.Log10(v)
+		}
+		return v
+	}
+	lo, hi := scale(minV), scale(maxV)
+	if hi == lo {
+		hi = lo + 1
+	}
+	row := func(v float64) int {
+		r := int(math.Round((scale(v) - lo) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r
+	}
+
+	width := len(t.Ticks) * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.Series {
+		marker := byte('A' + si%26)
+		for ci, c := range s.Cells {
+			if c.DNF || c.Skip || c.Value <= 0 {
+				continue
+			}
+			x := ci*colWidth + colWidth/2
+			y := row(c.Value)
+			if grid[y][x] == ' ' {
+				grid[y][x] = marker
+			} else {
+				// Collision: nudge right until free (stays informative).
+				for dx := 1; dx < colWidth/2; dx++ {
+					if x+dx < width && grid[y][x+dx] == ' ' {
+						grid[y][x+dx] = marker
+						break
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s — %s", t.ID, t.Title)
+	if logScale {
+		fmt.Fprint(w, " (log y)")
+	}
+	fmt.Fprintln(w)
+	topLabel := fmt.Sprintf("%.3g", maxV)
+	botLabel := fmt.Sprintf("%.3g", minV)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", labelW)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  ", strings.Repeat(" ", labelW))
+	for _, tick := range t.Ticks {
+		if len(tick) > colWidth-1 {
+			tick = tick[:colWidth-1]
+		}
+		fmt.Fprintf(w, "%-*s", colWidth, tick)
+	}
+	fmt.Fprintln(w)
+	for si, s := range t.Series {
+		fmt.Fprintf(w, "  %c = %s\n", 'A'+si%26, s.Name)
+	}
+}

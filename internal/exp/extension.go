@@ -1,0 +1,47 @@
+package exp
+
+import "fannr/internal/core"
+
+// ExtensionEngines — beyond the paper: the IER-kNN framework driven by
+// the two related-work accelerations the paper discusses but does not
+// evaluate (contraction hierarchies and landmark A*), side by side with
+// the paper's two strongest engines. The sweep answers the question the
+// related-work section raises: where does CH's low memory overhead cost
+// query time against PHL and G-tree?
+//
+// The dataset is loaded at cfg.Scale/4: CH preprocessing on grid-like
+// networks grows superlinearly (top-of-hierarchy contractions are dense),
+// so the full default scale would spend its whole budget building the
+// hierarchy.
+func ExtensionEngines(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	cfg.Scale /= 4
+	e, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExtensionEngines()
+}
+
+// ExtensionEngines runs the experiment on an existing Env.
+func (e *Env) ExtensionEngines() ([]*Table, error) {
+	names := append([]string{"PHL", "GTree"}, ExtensionEngineNames...)
+	algos := make([]algoSpec, 0, len(names))
+	for _, name := range names {
+		gp, err := e.newEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		algos = append(algos, algoSpec{
+			name: name,
+			agg:  core.Max,
+			run: func(inst *workloadInstance, _ tickSpec) error {
+				_, err := core.IERKNN(e.G, inst.rtP, gp, inst.query, core.IEROptions{})
+				return err
+			},
+		})
+	}
+	return []*Table{e.runSweep("extension-engines",
+		"IER-kNN with extension engines (CH, ALT) vs PHL and G-tree",
+		"d", "avg seconds per query (max-FANN_R)", densitySweep(), algos)}, nil
+}

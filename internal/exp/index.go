@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"fannr/internal/gtree"
+	"fannr/internal/phl"
+	"fannr/internal/rtree"
+	"fannr/internal/workload"
+)
+
+// Fig9 — index construction time and size of G-tree vs hub labeling (the
+// paper's PHL) across the Table III datasets. PHL exceeds its memory
+// budget on the largest datasets (the paper: "PHL only can build index
+// for the first 5 datasets before exceeding the memory capacity"), which
+// the entry budget reproduces.
+//
+// Datasets are loaded at cfg.Scale/8 so the full seven-network sweep stays
+// laptop-sized; relative ordering is what the figure is about.
+func Fig9(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	scale := cfg.Scale / 8
+	timeTbl := &Table{
+		ID:     "fig9b",
+		Title:  "index construction time across datasets",
+		XLabel: "dataset",
+		YLabel: "build seconds",
+		Series: []Series{{Name: "G-tree"}, {Name: "PHL"}},
+	}
+	sizeTbl := &Table{
+		ID:     "fig9a",
+		Title:  "index size across datasets",
+		XLabel: "dataset",
+		YLabel: "index MB",
+		Series: []Series{{Name: "G-tree"}, {Name: "PHL"}},
+	}
+	for _, spec := range workload.TableIII {
+		g, err := workload.LoadDataset(spec.Name, scale)
+		if err != nil {
+			return nil, err
+		}
+		timeTbl.Ticks = append(timeTbl.Ticks, spec.Name)
+		sizeTbl.Ticks = append(sizeTbl.Ticks, spec.Name)
+
+		start := time.Now()
+		tr, err := gtree.Build(g, gtree.Options{MaxLeafSize: gtreeLeafFor(spec.Name)})
+		if err != nil {
+			return nil, err
+		}
+		timeTbl.Series[0].Cells = append(timeTbl.Series[0].Cells, Cell{Value: time.Since(start).Seconds()})
+		sizeTbl.Series[0].Cells = append(sizeTbl.Series[0].Cells, Cell{Value: float64(tr.Stats().MemoryBytes) / 1e6})
+
+		start = time.Now()
+		ix, err := phl.Build(g, phl.Options{MaxEntries: cfg.PHLBudget})
+		switch {
+		case errors.Is(err, phl.ErrBudget):
+			timeTbl.Series[1].Cells = append(timeTbl.Series[1].Cells, Cell{Note: "OOM", Skip: true})
+			sizeTbl.Series[1].Cells = append(sizeTbl.Series[1].Cells, Cell{Note: "OOM", Skip: true})
+		case err != nil:
+			return nil, err
+		default:
+			timeTbl.Series[1].Cells = append(timeTbl.Series[1].Cells, Cell{Value: time.Since(start).Seconds()})
+			sizeTbl.Series[1].Cells = append(sizeTbl.Series[1].Cells, Cell{Value: float64(ix.MemoryBytes()) / 1e6})
+		}
+	}
+	return []*Table{sizeTbl, timeTbl}, nil
+}
+
+// AppendixA — index cost of the R-tree over Q vs the G-tree occurrence
+// list (Occ), varying M. The paper's conclusion: both are negligible next
+// to query cost, so the choice between GTree and IER-GTree is not driven
+// by Q-side index cost.
+func AppendixA(cfg Config) ([]*Table, error) {
+	e, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.AppendixA()
+}
+
+// AppendixA runs the experiment on an existing Env.
+func (e *Env) AppendixA() ([]*Table, error) {
+	timeTbl := &Table{
+		ID:     "appendixA-time",
+		Title:  "Q-side index build time: R-tree vs Occ",
+		XLabel: "M",
+		YLabel: "build microseconds",
+		Series: []Series{{Name: "R-tree"}, {Name: "Occ"}},
+	}
+	sizeTbl := &Table{
+		ID:     "appendixA-size",
+		Title:  "Q-side index size: R-tree vs Occ",
+		XLabel: "M",
+		YLabel: "KB",
+		Series: []Series{{Name: "R-tree"}, {Name: "Occ"}},
+	}
+	p := workload.DefaultParams()
+	const reps = 16
+	for _, m := range sizeTicks {
+		timeTbl.Ticks = append(timeTbl.Ticks, tickLabelM(m))
+		sizeTbl.Ticks = append(sizeTbl.Ticks, tickLabelM(m))
+		Q := e.Gen.UniformQ(p.A, m)
+		pts := make([]rtree.Point, len(Q))
+		for i, q := range Q {
+			x, y := e.G.Coord(q)
+			pts[i] = rtree.Point{X: x, Y: y, ID: q}
+		}
+		var rt *rtree.Tree
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			buf := append([]rtree.Point(nil), pts...)
+			rt = rtree.BulkLoad(buf, rtree.DefaultFanout)
+		}
+		rtTime := time.Since(start) / reps
+		var occ *gtree.ObjectSet
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			occ = e.GTree.NewObjectSet(Q)
+		}
+		occTime := time.Since(start) / reps
+		timeTbl.Series[0].Cells = append(timeTbl.Series[0].Cells, Cell{Value: float64(rtTime.Microseconds())})
+		timeTbl.Series[1].Cells = append(timeTbl.Series[1].Cells, Cell{Value: float64(occTime.Microseconds())})
+		sizeTbl.Series[0].Cells = append(sizeTbl.Series[0].Cells, Cell{Value: float64(rt.Stats().MemoryBytes) / 1024})
+		sizeTbl.Series[1].Cells = append(sizeTbl.Series[1].Cells, Cell{Value: float64(occ.MemoryBytes()) / 1024})
+	}
+	return []*Table{timeTbl, sizeTbl}, nil
+}
+
+func tickLabelM(m int) string {
+	return "M=" + strconv.Itoa(m)
+}

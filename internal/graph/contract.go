@@ -1,0 +1,121 @@
+package graph
+
+// ContractChains simplifies a road network by removing degree-2 vertices:
+// each maximal chain of them collapses into a single edge whose weight is
+// the chain length, preserving shortest-path distances among the retained
+// vertices exactly. Real road networks (including the paper's DIMACS
+// datasets) are full of such chains — contraction routinely removes a
+// large fraction of vertices before index construction.
+//
+// keep, when non-nil, forces retention of specific vertices (e.g., every
+// vertex hosting a data or query point). Vertices of degree ≠ 2 are
+// always retained. The returned origID maps new ids to ids in g.
+func ContractChains(g *Graph, keep func(NodeID) bool) (*Graph, []NodeID, error) {
+	n := g.NumNodes()
+	kept := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if g.Degree(NodeID(v)) != 2 || (keep != nil && keep(NodeID(v))) {
+			kept[v] = true
+		}
+	}
+	visited := make([]bool, n)
+	type edge struct {
+		u, v NodeID
+		w    float64
+	}
+	var edges []edge
+	// Walk chains outward from every kept vertex.
+	for u := 0; u < n; u++ {
+		if !kept[u] {
+			continue
+		}
+		nbrs, ws := g.Neighbors(NodeID(u))
+		for i, first := range nbrs {
+			if kept[first] {
+				if NodeID(u) < first { // plain edge between kept vertices
+					edges = append(edges, edge{NodeID(u), first, ws[i]})
+				}
+				continue
+			}
+			if visited[first] {
+				continue // chain already walked from its other end
+			}
+			prev := NodeID(u)
+			cur := first
+			w := ws[i]
+			for !kept[cur] {
+				visited[cur] = true
+				cn, cw := g.Neighbors(cur)
+				// Degree-2 interior: step to the neighbor we did not come
+				// from.
+				next := cn[0]
+				nw := cw[0]
+				if next == prev {
+					next = cn[1]
+					nw = cw[1]
+				}
+				w += nw
+				prev, cur = cur, next
+			}
+			if cur != NodeID(u) { // drop pure loops back to the start
+				edges = append(edges, edge{NodeID(u), cur, w})
+			}
+		}
+	}
+	// Pure degree-2 cycles have no kept vertex; retain one representative
+	// each so no component silently vanishes.
+	for v := 0; v < n; v++ {
+		if !kept[v] && !visited[v] {
+			kept[v] = true
+			// Mark the rest of its cycle visited.
+			prev := NodeID(v)
+			cn, _ := g.Neighbors(NodeID(v))
+			if len(cn) == 0 {
+				continue
+			}
+			cur := cn[0]
+			for cur != NodeID(v) && !kept[cur] {
+				visited[cur] = true
+				nn, _ := g.Neighbors(cur)
+				next := nn[0]
+				if next == prev {
+					next = nn[1]
+				}
+				prev, cur = cur, next
+			}
+		}
+	}
+
+	newID := make([]NodeID, n)
+	var origID []NodeID
+	for v := 0; v < n; v++ {
+		if kept[v] {
+			newID[v] = NodeID(len(origID))
+			origID = append(origID, NodeID(v))
+		} else {
+			newID[v] = -1
+		}
+	}
+	b := NewBuilder(len(origID))
+	b.SetName(g.Name())
+	if g.HasCoords() {
+		x := make([]float64, len(origID))
+		y := make([]float64, len(origID))
+		for i, ov := range origID {
+			x[i], y[i] = g.Coord(ov)
+		}
+		if err := b.SetCoords(x, y); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(newID[e.u], newID[e.v], e.w); err != nil {
+			return nil, nil, err
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, origID, nil
+}

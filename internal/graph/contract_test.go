@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// chainGraph: 0 -1- 1 -2- 2 -3- 3 with a side branch at 0 and 3, so 1,2
+// are a contractible chain.
+//
+//	4 -5- 0 -1- 1 -2- 2 -3- 3 -7- 5
+func chainGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(6)
+	for _, e := range []Edge{
+		{U: 4, V: 0, W: 5}, {U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2},
+		{U: 2, V: 3, W: 3}, {U: 3, V: 5, W: 7},
+	} {
+		if err := b.AddEdge(e.U, e.V, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestContractChainsCollapsesInterior(t *testing.T) {
+	g := chainGraph(t)
+	// Degrees: 4:1 0:2 1:2 2:2 3:2 5:1 — everything between 4 and 5 is a
+	// chain; only the endpoints survive.
+	out, orig, err := ContractChains(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumNodes() != 2 || out.NumEdges() != 1 {
+		t.Fatalf("contracted to %d nodes %d edges, want 2 and 1", out.NumNodes(), out.NumEdges())
+	}
+	if w, ok := out.EdgeWeight(0, 1); !ok || math.Abs(w-18) > 1e-12 {
+		t.Fatalf("chain weight %v, want 18", w)
+	}
+	if len(orig) != 2 {
+		t.Fatalf("origID %v", orig)
+	}
+}
+
+func TestContractChainsKeepHook(t *testing.T) {
+	g := chainGraph(t)
+	out, orig, err := ContractChains(g, func(v NodeID) bool { return v == 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (endpoints + pinned vertex)", out.NumNodes())
+	}
+	// Distances through the pinned vertex preserved: 4..2 = 8, 2..5 = 10.
+	var pinned, end4, end5 NodeID = -1, -1, -1
+	for newV, oldV := range orig {
+		switch oldV {
+		case 2:
+			pinned = NodeID(newV)
+		case 4:
+			end4 = NodeID(newV)
+		case 5:
+			end5 = NodeID(newV)
+		}
+	}
+	if w, ok := out.EdgeWeight(end4, pinned); !ok || math.Abs(w-8) > 1e-12 {
+		t.Fatalf("4..2 weight %v, want 8", w)
+	}
+	if w, ok := out.EdgeWeight(pinned, end5); !ok || math.Abs(w-10) > 1e-12 {
+		t.Fatalf("2..5 weight %v, want 10", w)
+	}
+}
+
+func TestContractChainsPreservesDistances(t *testing.T) {
+	g, err := Generate(GenConfig{Nodes: 1200, Seed: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, orig, err := ContractChains(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumNodes() >= g.NumNodes() {
+		t.Fatalf("no contraction happened: %d >= %d", out.NumNodes(), g.NumNodes())
+	}
+	// Compare all-pairs over a sample of kept vertices using simple BFS
+	// Dijkstra re-implemented via the package-internal test helper: use
+	// Floyd-free spot checks with the sp package — unavailable here
+	// (import cycle), so verify via edge-accurate reconstruction: every
+	// contracted edge's weight must equal the true distance when the
+	// interior is degree-2 only. Instead, spot-check with an in-package
+	// Dijkstra.
+	dOrig := simpleDijkstra(g)
+	dNew := simpleDijkstra(out)
+	for i := 0; i < 30; i++ {
+		u := NodeID((i * 37) % out.NumNodes())
+		v := NodeID((i * 91) % out.NumNodes())
+		want := dOrig(orig[u], orig[v])
+		got := dNew(u, v)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("distance (%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func TestContractChainsPureCycle(t *testing.T) {
+	b := NewBuilder(4)
+	for _, e := range []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}, {U: 3, V: 0, W: 1}} {
+		_ = b.AddEdge(e.U, e.V, e.W)
+	}
+	g, _ := b.Build()
+	out, _, err := ContractChains(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumNodes() < 1 {
+		t.Fatal("cycle component vanished")
+	}
+}
+
+// simpleDijkstra is a minimal in-package SSSP for tests (the sp package
+// cannot be imported here without a cycle).
+func simpleDijkstra(g *Graph) func(u, v NodeID) float64 {
+	return func(u, v NodeID) float64 {
+		n := g.NumNodes()
+		dist := make([]float64, n)
+		done := make([]bool, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[u] = 0
+		for {
+			best := -1
+			bestD := math.Inf(1)
+			for i := 0; i < n; i++ {
+				if !done[i] && dist[i] < bestD {
+					best, bestD = i, dist[i]
+				}
+			}
+			if best < 0 {
+				return dist[v]
+			}
+			if NodeID(best) == v {
+				return bestD
+			}
+			done[best] = true
+			nbrs, ws := g.Neighbors(NodeID(best))
+			for i, nb := range nbrs {
+				if d := bestD + ws[i]; d < dist[nb] {
+					dist[nb] = d
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleGR = `c sample
+p sp 4 8
+a 1 2 3
+a 2 1 3
+a 2 3 4
+a 3 2 4
+a 3 4 5
+a 4 3 5
+a 1 4 10
+a 4 1 10
+`
+
+const sampleCO = `c sample coords
+p aux sp co 4
+v 1 0 0
+v 2 3 0
+v 3 3 4
+v 4 0 4
+`
+
+func TestReadDIMACS(t *testing.T) {
+	g, err := ReadDIMACS(strings.NewReader(sampleGR), strings.NewReader(sampleCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes %d edges, want 4 and 4", g.NumNodes(), g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(0, 3); !ok || w != 10 {
+		t.Fatalf("edge (0,3) = (%v,%v), want (10,true)", w, ok)
+	}
+	if !g.HasCoords() {
+		t.Fatal("coords missing")
+	}
+	if x, y := g.Coord(2); x != 3 || y != 4 {
+		t.Fatalf("Coord(2) = (%v,%v), want (3,4)", x, y)
+	}
+	if g.Euclid(0, 1) != 3 {
+		t.Fatalf("Euclid(0,1) = %v, want 3", g.Euclid(0, 1))
+	}
+}
+
+func TestReadDIMACSNoCoords(t *testing.T) {
+	g, err := ReadDIMACS(strings.NewReader(sampleGR), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasCoords() {
+		t.Fatal("unexpected coords")
+	}
+}
+
+func TestReadDIMACSDropsSelfLoops(t *testing.T) {
+	in := "p sp 2 3\na 1 1 5\na 1 2 1\na 2 1 1\n"
+	g, err := ReadDIMACS(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"a 1 2 3\n",            // arc before problem line
+		"p sp x 1\n",           // bad node count
+		"p sp 2 1\na 1 2\n",    // short arc
+		"p sp 2 1\nq 1 2 3\n",  // unknown record
+		"p sp 2 1\na 1 9 3\n",  // out of range
+		"p sp 2 1\na 1 2 -3\n", // negative weight
+		"",                     // no problem line
+	}
+	for _, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in), nil); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g, err := Generate(GenConfig{Nodes: 300, Seed: 42, Name: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gr, co bytes.Buffer
+	if err := WriteDIMACS(g, &gr, &co); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadDIMACS(&gr, &co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range g.Edges(nil) {
+		if w, ok := g2.EdgeWeight(e.U, e.V); !ok || w != e.W {
+			t.Fatalf("edge %+v lost in round trip (got %v,%v)", e, w, ok)
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	g, err := Generate(GenConfig{Nodes: 2000, Seed: 7, Name: "synth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 1000 {
+		t.Fatalf("generator lost too many nodes: %d", g.NumNodes())
+	}
+	if _, count := ConnectedComponents(g); count != 1 {
+		t.Fatal("generated graph not connected")
+	}
+	// Edge weights must dominate Euclidean length (Lemma 1 admissibility).
+	for _, e := range g.Edges(nil) {
+		if e.W < g.Euclid(e.U, e.V)-1e-9 {
+			t.Fatalf("edge %+v lighter than Euclidean %v", e, g.Euclid(e.U, e.V))
+		}
+	}
+	// Sparsity in the road-network range.
+	avgDeg := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if avgDeg < 1.5 || avgDeg > 4.5 {
+		t.Fatalf("average degree %v outside road-network range", avgDeg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Nodes: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Nodes: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("generator not deterministic")
+	}
+	ea, eb := a.Edges(nil), b.Edges(nil)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestGenerateRejectsTiny(t *testing.T) {
+	if _, err := Generate(GenConfig{Nodes: 1}); err == nil {
+		t.Fatal("1-node generation accepted")
+	}
+}

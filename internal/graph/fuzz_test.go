@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDIMACS exercises the .gr parser: it must never panic and, when
+// it accepts an input, the produced graph must satisfy basic invariants.
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p sp 3 2\na 1 2 5\na 2 3 1.5\n")
+	f.Add("c comment\np sp 1 0\n")
+	f.Add("p sp 2 1\na 1 1 5\n")
+	f.Add("a 1 2 3\n")
+	f.Add("p sp 2 1\na 1 2 -1\n")
+	f.Add("p sp 999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadDIMACS(strings.NewReader(input), nil)
+		if err != nil {
+			return
+		}
+		if g.NumNodes() <= 0 {
+			t.Fatal("accepted graph with no nodes")
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			nbrs, ws := g.Neighbors(NodeID(v))
+			for i, u := range nbrs {
+				if u < 0 || int(u) >= g.NumNodes() {
+					t.Fatalf("neighbor %d out of range", u)
+				}
+				if !(ws[i] > 0) {
+					t.Fatalf("non-positive weight %v survived", ws[i])
+				}
+			}
+		}
+		// Accepted graphs must round-trip.
+		var buf bytes.Buffer
+		if err := WriteDIMACS(g, &buf, nil); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := ReadDIMACS(&buf, nil)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadCoords exercises the .co parser alongside a fixed .gr input.
+func FuzzReadCoords(f *testing.F) {
+	f.Add("p aux sp co 2\nv 1 10 20\nv 2 30 40\n")
+	f.Add("v 1 1 1\n")
+	f.Add("p aux sp co 2\nv 9 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		gr := "p sp 2 1\na 1 2 3\n"
+		g, err := ReadDIMACS(strings.NewReader(gr), strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if !g.HasCoords() {
+			t.Fatal("accepted graph lost coords")
+		}
+		_ = g.Euclid(0, 1)
+	})
+}

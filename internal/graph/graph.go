@@ -1,0 +1,302 @@
+// Package graph implements the road-network substrate of fannr: a compact
+// CSR (compressed sparse row) representation of undirected weighted graphs
+// with planar coordinates, DIMACS I/O, synthetic road-network generators,
+// and connected-component utilities.
+//
+// Coordinates give every algorithm in fannr a Euclidean lower bound on
+// network distance: Graph.LowerBound scales raw Euclidean distance by the
+// inverse of the fastest observed edge "speed" (Euclidean length divided by
+// weight), so the bound is admissible even on networks whose weights are
+// travel times rather than lengths.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node; ids are dense in [0, NumNodes).
+type NodeID = int32
+
+// Graph is an undirected weighted road network in CSR form. Graphs are
+// immutable after construction and safe for concurrent readers.
+type Graph struct {
+	name     string
+	adjStart []int32 // len NumNodes+1; adjacency of v is [adjStart[v], adjStart[v+1])
+	adjNode  []NodeID
+	adjW     []float64
+	x, y     []float64
+	hasCoord bool
+	// invSpeed converts Euclidean distance into an admissible lower bound
+	// on network distance: lb = euclid * invSpeed. It is
+	// 1/max_e(euclid(e)/w(e)), or 0 when coordinates are absent.
+	invSpeed float64
+}
+
+// Edge is an undirected edge for graph construction.
+type Edge struct {
+	U, V NodeID
+	W    float64
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+type Builder struct {
+	n        int
+	edges    []Edge
+	x, y     []float64
+	hasCoord bool
+	name     string
+}
+
+// NewBuilder returns a builder for a graph with n nodes and no coordinates.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// SetName sets the graph's dataset name (informational).
+func (b *Builder) SetName(name string) { b.name = name }
+
+// SetCoords attaches planar coordinates; len(x) and len(y) must equal the
+// node count.
+func (b *Builder) SetCoords(x, y []float64) error {
+	if len(x) != b.n || len(y) != b.n {
+		return fmt.Errorf("graph: coords length %d,%d != node count %d", len(x), len(y), b.n)
+	}
+	b.x, b.y = x, y
+	b.hasCoord = true
+	return nil
+}
+
+// AddEdge adds an undirected edge. Self-loops are rejected; duplicate edges
+// are merged at Build time keeping the minimum weight.
+func (b *Builder) AddEdge(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if !(w > 0) || math.IsInf(w, 1) {
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive or infinite weight %v", u, v, w)
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+	return nil
+}
+
+// Build produces the immutable CSR graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n == 0 {
+		return nil, errors.New("graph: empty graph")
+	}
+	// Canonicalize and dedup (keep the lightest parallel edge).
+	for i := range b.edges {
+		if b.edges[i].U > b.edges[i].V {
+			b.edges[i].U, b.edges[i].V = b.edges[i].V, b.edges[i].U
+		}
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		ei, ej := b.edges[i], b.edges[j]
+		if ei.U != ej.U {
+			return ei.U < ej.U
+		}
+		if ei.V != ej.V {
+			return ei.V < ej.V
+		}
+		return ei.W < ej.W
+	})
+	dedup := b.edges[:0]
+	for _, e := range b.edges {
+		if n := len(dedup); n > 0 && dedup[n-1].U == e.U && dedup[n-1].V == e.V {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	b.edges = dedup
+
+	g := &Graph{
+		name:     b.name,
+		adjStart: make([]int32, b.n+1),
+		adjNode:  make([]NodeID, 2*len(b.edges)),
+		adjW:     make([]float64, 2*len(b.edges)),
+		x:        b.x,
+		y:        b.y,
+		hasCoord: b.hasCoord,
+	}
+	deg := make([]int32, b.n)
+	for _, e := range b.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.adjStart[v+1] = g.adjStart[v] + deg[v]
+	}
+	cursor := make([]int32, b.n)
+	copy(cursor, g.adjStart[:b.n])
+	for _, e := range b.edges {
+		g.adjNode[cursor[e.U]] = e.V
+		g.adjW[cursor[e.U]] = e.W
+		cursor[e.U]++
+		g.adjNode[cursor[e.V]] = e.U
+		g.adjW[cursor[e.V]] = e.W
+		cursor[e.V]++
+	}
+	if b.hasCoord {
+		maxSpeed := 0.0
+		for _, e := range b.edges {
+			d := g.Euclid(e.U, e.V)
+			if s := d / e.W; s > maxSpeed {
+				maxSpeed = s
+			}
+		}
+		if maxSpeed > 0 {
+			g.invSpeed = 1 / maxSpeed
+		}
+	}
+	return g, nil
+}
+
+// Name returns the dataset name ("" if unset).
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adjStart) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adjNode) / 2 }
+
+// HasCoords reports whether planar coordinates are attached.
+func (g *Graph) HasCoords() bool { return g.hasCoord }
+
+// Coord returns the coordinates of v. It must only be called when
+// HasCoords is true.
+func (g *Graph) Coord(v NodeID) (x, y float64) { return g.x[v], g.y[v] }
+
+// Neighbors returns the adjacency of v as parallel slices of neighbor ids
+// and edge weights. The slices alias the graph's storage and must not be
+// modified.
+func (g *Graph) Neighbors(v NodeID) ([]NodeID, []float64) {
+	s, e := g.adjStart[v], g.adjStart[v+1]
+	return g.adjNode[s:e], g.adjW[s:e]
+}
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.adjStart[v+1] - g.adjStart[v])
+}
+
+// EdgeWeight returns the weight of edge (u,v) and whether it exists.
+func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
+	nbrs, ws := g.Neighbors(u)
+	for i, n := range nbrs {
+		if n == v {
+			return ws[i], true
+		}
+	}
+	return 0, false
+}
+
+// Euclid returns the Euclidean distance between two nodes. It must only be
+// called when HasCoords is true.
+func (g *Graph) Euclid(u, v NodeID) float64 {
+	dx := g.x[u] - g.x[v]
+	dy := g.y[u] - g.y[v]
+	return math.Hypot(dx, dy)
+}
+
+// LowerBound returns an admissible lower bound on the network distance
+// between u and v derived from their Euclidean distance. It returns 0 when
+// the graph has no coordinates.
+func (g *Graph) LowerBound(u, v NodeID) float64 {
+	if !g.hasCoord {
+		return 0
+	}
+	return g.Euclid(u, v) * g.invSpeed
+}
+
+// ScaleEuclid converts a raw Euclidean distance (in coordinate units) into
+// an admissible lower bound on network distance. Spatial indexes use this
+// to turn MBR mindists into network-distance bounds (Lemma 1 of the paper).
+func (g *Graph) ScaleEuclid(d float64) float64 {
+	if !g.hasCoord {
+		return 0
+	}
+	return d * g.invSpeed
+}
+
+// Edges appends all undirected edges (U < V) to dst and returns it.
+func (g *Graph) Edges(dst []Edge) []Edge {
+	for u := 0; u < g.NumNodes(); u++ {
+		s, e := g.adjStart[u], g.adjStart[u+1]
+		for i := s; i < e; i++ {
+			if v := g.adjNode[i]; NodeID(u) < v {
+				dst = append(dst, Edge{U: NodeID(u), V: v, W: g.adjW[i]})
+			}
+		}
+	}
+	return dst
+}
+
+// SplitEdge returns a new graph with an additional vertex placed on edge
+// (u, v) at fraction t ∈ (0, 1) of its weight from u, plus the id of the
+// new vertex. This realizes the paper's §II-A convention for query or
+// data objects that lie on an edge rather than at a vertex: split the
+// edge and query on the new vertex, which is exact.
+func SplitEdge(g *Graph, u, v NodeID, t float64) (*Graph, NodeID, error) {
+	w, ok := g.EdgeWeight(u, v)
+	if !ok {
+		return nil, 0, fmt.Errorf("graph: no edge (%d,%d) to split", u, v)
+	}
+	if !(t > 0 && t < 1) {
+		return nil, 0, fmt.Errorf("graph: split fraction %v outside (0,1)", t)
+	}
+	n := g.NumNodes()
+	mid := NodeID(n)
+	b := NewBuilder(n + 1)
+	b.SetName(g.name)
+	if g.hasCoord {
+		x := make([]float64, n+1)
+		y := make([]float64, n+1)
+		copy(x, g.x)
+		copy(y, g.y)
+		x[n] = g.x[u] + t*(g.x[v]-g.x[u])
+		y[n] = g.y[u] + t*(g.y[v]-g.y[u])
+		if err := b.SetCoords(x, y); err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, e := range g.Edges(nil) {
+		if (e.U == u && e.V == v) || (e.U == v && e.V == u) {
+			continue
+		}
+		if err := b.AddEdge(e.U, e.V, e.W); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := b.AddEdge(u, mid, t*w); err != nil {
+		return nil, 0, err
+	}
+	if err := b.AddEdge(mid, v, (1-t)*w); err != nil {
+		return nil, 0, err
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, mid, nil
+}
+
+// BoundingBox returns the coordinate bounds of all nodes. It must only be
+// called when HasCoords is true.
+func (g *Graph) BoundingBox() (minX, minY, maxX, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for i := range g.x {
+		minX = math.Min(minX, g.x[i])
+		maxX = math.Max(maxX, g.x[i])
+		minY = math.Min(minY, g.y[i])
+		maxY = math.Max(maxY, g.y[i])
+	}
+	return
+}

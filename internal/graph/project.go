@@ -1,0 +1,65 @@
+package graph
+
+import "math"
+
+// Real DIMACS road networks store coordinates as longitude/latitude in
+// microdegrees. Euclidean distances in that frame are distorted (a degree
+// of longitude shrinks with latitude), which loosens — never breaks — the
+// Euclidean lower bounds (the builder's speed calibration keeps them
+// admissible under any linear-ish distortion). Reprojecting into a
+// locally distance-faithful frame tightens A* heuristics and IER bounds
+// on real data.
+
+// Projection maps coordinates into a new planar frame.
+type Projection func(x, y float64) (float64, float64)
+
+// Equirectangular returns a projection for lon/lat input (in consistent
+// units, degrees or microdegrees): longitudes are compressed by the
+// cosine of the mid-latitude, making local Euclidean distances
+// proportional to ground distances.
+func Equirectangular(midLatDegrees float64) Projection {
+	c := math.Cos(midLatDegrees * math.Pi / 180)
+	return func(x, y float64) (float64, float64) {
+		return x * c, y
+	}
+}
+
+// EquirectangularFor computes the graph's mid-latitude from its
+// coordinate bounding box, assuming coordinates are lon/lat in
+// microdegrees (the DIMACS convention) when values exceed ±1000, plain
+// degrees otherwise.
+func EquirectangularFor(g *Graph) Projection {
+	_, minY, _, maxY := g.BoundingBox()
+	mid := (minY + maxY) / 2
+	if math.Abs(mid) > 1000 { // microdegrees
+		mid /= 1e6
+	}
+	return Equirectangular(mid)
+}
+
+// Reproject rebuilds g with every coordinate passed through proj. Edge
+// weights are unchanged; the Euclidean-to-network calibration is
+// recomputed for the new frame.
+func Reproject(g *Graph, proj Projection) (*Graph, error) {
+	if !g.HasCoords() {
+		return g, nil
+	}
+	n := g.NumNodes()
+	b := NewBuilder(n)
+	b.SetName(g.Name())
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for v := 0; v < n; v++ {
+		cx, cy := g.Coord(NodeID(v))
+		x[v], y[v] = proj(cx, cy)
+	}
+	if err := b.SetCoords(x, y); err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges(nil) {
+		if err := b.AddEdge(e.U, e.V, e.W); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

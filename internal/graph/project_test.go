@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEquirectangularCompressesLongitude(t *testing.T) {
+	proj := Equirectangular(60) // cos 60° = 0.5
+	x, y := proj(10, 20)
+	if math.Abs(x-5) > 1e-12 || y != 20 {
+		t.Fatalf("proj(10,20) = (%v,%v), want (5,20)", x, y)
+	}
+	eq := Equirectangular(0)
+	if px, _ := eq(10, 0); math.Abs(px-10) > 1e-12 {
+		t.Fatal("equator projection should be identity in x")
+	}
+}
+
+func TestEquirectangularForDetectsMicrodegrees(t *testing.T) {
+	b := NewBuilder(2)
+	// Seattle-ish in microdegrees: lat ~47.6e6.
+	if err := b.SetCoords([]float64{-122_300_000, -122_200_000}, []float64{47_600_000, 47_700_000}); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.AddEdge(0, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := EquirectangularFor(g)
+	x, _ := proj(1_000_000, 0)
+	want := 1_000_000 * math.Cos(47.65*math.Pi/180)
+	if math.Abs(x-want) > 1 {
+		t.Fatalf("microdegree mid-latitude not detected: %v vs %v", x, want)
+	}
+}
+
+func TestReprojectPreservesTopologyAndTightensBounds(t *testing.T) {
+	// A high-latitude grid in lon/lat degrees: raw Euclid overestimates
+	// east-west ground distance, so after builder calibration the bounds
+	// are loose; reprojection tightens them.
+	b := NewBuilder(4)
+	lon := []float64{0, 1, 0, 1}
+	lat := []float64{60, 60, 61, 61}
+	if err := b.SetCoords(lon, lat); err != nil {
+		t.Fatal(err)
+	}
+	// Ground distances: 1° lon at 60° ≈ 0.5 units, 1° lat = 1 unit.
+	_ = b.AddEdge(0, 1, 0.5)
+	_ = b.AddEdge(2, 3, 0.5)
+	_ = b.AddEdge(0, 2, 1.0)
+	_ = b.AddEdge(1, 3, 1.0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := Reproject(g, Equirectangular(60.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumNodes() != g.NumNodes() || pg.NumEdges() != g.NumEdges() {
+		t.Fatal("reprojection changed topology")
+	}
+	for _, e := range g.Edges(nil) {
+		w2, ok := pg.EdgeWeight(e.U, e.V)
+		if !ok || w2 != e.W {
+			t.Fatal("reprojection changed weights")
+		}
+	}
+	// Both frames must stay admissible. In the raw frame the "fast"
+	// east-west edges (Euclidean 1° but weight 0.5) force a global 0.5×
+	// calibration that halves every north-south bound; the projected
+	// frame removes that distortion.
+	raw := g.LowerBound(0, 2)
+	proj := pg.LowerBound(0, 2)
+	if raw > 1.0+1e-9 || proj > 1.0+1e-9 {
+		t.Fatalf("bounds not admissible: raw %v proj %v vs true 1.0", raw, proj)
+	}
+	if proj <= raw+0.2 {
+		t.Fatalf("projection did not tighten the north-south bound: %v vs raw %v", proj, raw)
+	}
+	if ew := pg.LowerBound(0, 1); ew > 0.5+1e-9 {
+		t.Fatalf("projected east-west bound %v not admissible vs true 0.5", ew)
+	}
+}
+
+func TestReprojectWithoutCoords(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.AddEdge(0, 1, 1)
+	g, _ := b.Build()
+	pg, err := Reproject(g, Equirectangular(45))
+	if err != nil || pg != g {
+		t.Fatalf("coordless reprojection should be identity: %v %v", pg, err)
+	}
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitEdge(t *testing.T) {
+	b := NewBuilder(3)
+	x := []float64{0, 10, 20}
+	y := []float64{0, 0, 0}
+	if err := b.SetCoords(x, y); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.AddEdge(0, 1, 10)
+	_ = b.AddEdge(1, 2, 10)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, mid, err := SplitEdge(g, 0, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.NumNodes() != 4 || mid != 3 {
+		t.Fatalf("got %d nodes, mid=%d", split.NumNodes(), mid)
+	}
+	if w, ok := split.EdgeWeight(0, mid); !ok || math.Abs(w-3) > 1e-12 {
+		t.Fatalf("weight (0,mid) = %v,%v, want 3", w, ok)
+	}
+	if w, ok := split.EdgeWeight(mid, 1); !ok || math.Abs(w-7) > 1e-12 {
+		t.Fatalf("weight (mid,1) = %v,%v, want 7", w, ok)
+	}
+	if _, ok := split.EdgeWeight(0, 1); ok {
+		t.Fatal("original edge survived the split")
+	}
+	// Other edges untouched.
+	if w, ok := split.EdgeWeight(1, 2); !ok || w != 10 {
+		t.Fatalf("edge (1,2) = %v,%v", w, ok)
+	}
+	// Coordinates interpolate.
+	mx, my := split.Coord(mid)
+	if math.Abs(mx-3) > 1e-12 || my != 0 {
+		t.Fatalf("mid at (%v,%v), want (3,0)", mx, my)
+	}
+}
+
+func TestSplitEdgeErrors(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1, 5)
+	g, _ := b.Build()
+	if _, _, err := SplitEdge(g, 0, 2, 0.5); err == nil {
+		t.Fatal("split of missing edge accepted")
+	}
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := SplitEdge(g, 0, 1, bad); err == nil {
+			t.Fatalf("fraction %v accepted", bad)
+		}
+	}
+}
+
+func TestSplitEdgePreservesDistances(t *testing.T) {
+	g, err := Generate(GenConfig{Nodes: 300, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges(nil)[10]
+	split, mid, err := SplitEdge(g, e.U, e.V, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distances between original vertices are unchanged (BFS-free check
+	// via a few spot pairs using simple Dijkstra re-implemented inline
+	// would be circular; instead verify through the new vertex).
+	if w, ok := split.EdgeWeight(e.U, NodeID(mid)); !ok || math.Abs(w-e.W/2) > 1e-9 {
+		t.Fatalf("half edge weight %v, want %v", w, e.W/2)
+	}
+	if split.NumEdges() != g.NumEdges()+1 {
+		t.Fatalf("edges %d, want %d", split.NumEdges(), g.NumEdges()+1)
+	}
+}

@@ -1,0 +1,66 @@
+package gtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// TestRefinementAblation documents why the top-down refinement exists:
+// without it, queries are valid upper bounds (never below the true
+// distance) but can overestimate; with it, they are exact.
+func TestRefinementAblation(t *testing.T) {
+	g := roadNetwork(t, 900, 77)
+	exact, err := Build(g, Options{MaxLeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Build(g, Options{MaxLeafSize: 32, SkipRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe := exact.NewQuerier()
+	qr := raw.NewQuerier()
+	d := sp.NewDijkstra(g)
+	rng := rand.New(rand.NewSource(78))
+	overestimates := 0
+	for i := 0; i < 500; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		want := d.Dist(u, v)
+		if got := qe.Dist(u, v); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("refined Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		got := qr.Dist(u, v)
+		if got < want-1e-6 {
+			t.Fatalf("unrefined Dist(%d,%d) = %v below true %v — not an upper bound", u, v, got, want)
+		}
+		if got > want+1e-6 {
+			overestimates++
+		}
+	}
+	t.Logf("unrefined index overestimated %d / 500 query pairs", overestimates)
+}
+
+func BenchmarkBuildRefined(b *testing.B) {
+	g := roadNetwork(b, 3000, 79)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{MaxLeafSize: 128}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildUnrefined(b *testing.B) {
+	g := roadNetwork(b, 3000, 79)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{MaxLeafSize: 128, SkipRefinement: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

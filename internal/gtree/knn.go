@@ -1,0 +1,298 @@
+package gtree
+
+import (
+	"math"
+	"sort"
+
+	"fannr/internal/graph"
+	"fannr/internal/pqueue"
+	"fannr/internal/sp"
+)
+
+// ObjectSet is the occurrence list ("Occ" in the paper's Table I) over a
+// set of objects: per tree node, how many objects its subtree contains,
+// and per leaf, which objects. Build one per query object set and reuse it
+// across many KNN calls.
+type ObjectSet struct {
+	t       *Tree
+	count   []int32
+	perLeaf map[int32][]graph.NodeID
+	size    int
+}
+
+// NewObjectSet indexes objs against the tree.
+func (t *Tree) NewObjectSet(objs []graph.NodeID) *ObjectSet {
+	os := &ObjectSet{
+		t:       t,
+		count:   make([]int32, len(t.nodes)),
+		perLeaf: make(map[int32][]graph.NodeID, len(objs)),
+		size:    len(objs),
+	}
+	for _, o := range objs {
+		leaf := t.leafOf[o]
+		os.perLeaf[leaf] = append(os.perLeaf[leaf], o)
+		for n := leaf; n >= 0; n = t.nodes[n].parent {
+			os.count[n]++
+		}
+	}
+	return os
+}
+
+// Len reports the number of indexed objects.
+func (os *ObjectSet) Len() int { return os.size }
+
+// MemoryBytes estimates the occurrence-list footprint (Appendix A of the
+// paper compares it against the R-tree over Q).
+func (os *ObjectSet) MemoryBytes() int64 {
+	total := int64(len(os.count)) * 4
+	for _, l := range os.perLeaf {
+		total += int64(len(l))*4 + 16
+	}
+	return total
+}
+
+// KNN returns the k nearest objects to src in ascending network-distance
+// order (fewer when the reachable object set is smaller). Results are
+// appended to dst.
+func (q *Querier) KNN(src graph.NodeID, objs *ObjectSet, k int, dst []sp.Neighbor) []sp.Neighbor {
+	if k <= 0 || objs.size == 0 {
+		return dst
+	}
+	t := q.t
+	root := &t.nodes[0]
+	if root.isLeaf() {
+		// Degenerate single-leaf tree: the leaf subgraph is the graph.
+		localSSSP(root.ladjStart, root.ladjNode, root.ladjW, int(t.posInLeaf[src]), q.dist[:len(root.verts)], q.h)
+		cands := make([]sp.Neighbor, 0, objs.size)
+		for _, o := range objs.perLeaf[0] {
+			if d := q.dist[t.posInLeaf[o]]; !math.IsInf(d, 1) {
+				cands = append(cands, sp.Neighbor{Node: o, Dist: d})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Dist < cands[j].Dist })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		return append(dst, cands...)
+	}
+
+	// Global distance vectors from src over each visited node's X set.
+	vecs := make(map[int32][]float64, 32)
+	srcLeaf := t.leafOf[src]
+	q.buildChainVectors(src, vecs)
+
+	// Within-leaf distances from src, computed lazily for the source leaf.
+	var srcLocal []float64
+	ensureSrcLocal := func() {
+		if srcLocal != nil {
+			return
+		}
+		leaf := &t.nodes[srcLeaf]
+		srcLocal = make([]float64, len(leaf.verts))
+		localSSSP(leaf.ladjStart, leaf.ladjNode, leaf.ladjW, int(t.posInLeaf[src]), srcLocal, q.h)
+	}
+
+	best := pqueue.NewMaxHeap[graph.NodeID](k)
+	kth := func() float64 {
+		if best.Len() < k {
+			return math.Inf(1)
+		}
+		return best.Max().Key
+	}
+	offer := func(o graph.NodeID, d float64) {
+		if math.IsInf(d, 1) {
+			return
+		}
+		if best.Len() < k {
+			best.Push(d, o)
+		} else if d < best.Max().Key {
+			best.Pop()
+			best.Push(d, o)
+		}
+	}
+
+	pq := pqueue.NewHeap[int32](16)
+	if objs.count[0] > 0 {
+		pq.Push(0, 0)
+	}
+	for pq.Len() > 0 {
+		it := pq.Pop()
+		lb, ni := it.Key, it.Value
+		if lb >= kth() {
+			break
+		}
+		n := &t.nodes[ni]
+		if n.isLeaf() {
+			v := vecs[ni]
+			for _, o := range objs.perLeaf[ni] {
+				pos := int(t.posInLeaf[o])
+				d := math.Inf(1)
+				for bi := range n.borders {
+					if vb := v[bi]; !math.IsInf(vb, 1) {
+						if w := n.leafDist(bi, pos); vb+w < d {
+							d = vb + w
+						}
+					}
+				}
+				if ni == srcLeaf {
+					ensureSrcLocal()
+					if w := srcLocal[pos]; w < d {
+						d = w
+					}
+				}
+				offer(o, d)
+			}
+			continue
+		}
+		vn := vecs[ni]
+		for _, ci := range n.children {
+			if objs.count[ci] == 0 {
+				continue
+			}
+			c := &t.nodes[ci]
+			vc, have := vecs[ci]
+			if !have {
+				vc = q.descendVector(n, vn, ci)
+				vecs[ci] = vc
+			}
+			lbChild := 0.0
+			if !t.contains(c, src) {
+				lbChild = math.Inf(1)
+				for _, bx := range c.borderX {
+					if vc[bx] < lbChild {
+						lbChild = vc[bx]
+					}
+				}
+			}
+			if lbChild < kth() {
+				pq.Push(lbChild, ci)
+			}
+		}
+	}
+
+	out := make([]sp.Neighbor, best.Len())
+	for i := best.Len() - 1; i >= 0; i-- {
+		it := best.Pop()
+		out[i] = sp.Neighbor{Node: it.Value, Dist: it.Key}
+	}
+	return append(dst, out...)
+}
+
+// buildChainVectors fills vecs[n] = global distances from src to each
+// X-vertex of n, for the source leaf and every ancestor up to the root.
+func (q *Querier) buildChainVectors(src graph.NodeID, vecs map[int32][]float64) {
+	t := q.t
+	l := t.leafOf[src]
+	leaf := &t.nodes[l]
+	p := &t.nodes[leaf.parent]
+	pos := int(t.posInLeaf[src])
+	vl := make([]float64, len(leaf.borders))
+	for bi := range leaf.borders {
+		bestD := math.Inf(1)
+		xb := p.xIdx[leaf.borders[bi]]
+		for bj := range leaf.borders {
+			w := leaf.leafDist(bj, pos)
+			if math.IsInf(w, 1) {
+				continue
+			}
+			if d := w + p.matDist(p.xIdx[leaf.borders[bj]], xb); d < bestD {
+				bestD = d
+			}
+		}
+		vl[bi] = bestD
+	}
+	vecs[l] = vl
+
+	node := l
+	for t.nodes[node].parent >= 0 {
+		pi := t.nodes[node].parent
+		pn := &t.nodes[pi]
+		child := &t.nodes[node]
+		vc := vecs[node]
+		vp := make([]float64, len(pn.X))
+		for xi, x := range pn.X {
+			if t.contains(child, x) {
+				// x ∈ B(child): its global distance is already known.
+				if child.isLeaf() {
+					vp[xi] = vc[childBorderIndex(child, x)]
+				} else {
+					vp[xi] = vc[child.xIdx[x]]
+				}
+				continue
+			}
+			bestD := math.Inf(1)
+			for bi, cb := range child.borders {
+				var vb float64
+				if child.isLeaf() {
+					vb = vc[bi]
+				} else {
+					vb = vc[child.xIdx[cb]]
+				}
+				if math.IsInf(vb, 1) {
+					continue
+				}
+				if d := vb + pn.matDist(pn.xIdx[cb], int32(xi)); d < bestD {
+					bestD = d
+				}
+			}
+			vp[xi] = bestD
+		}
+		vecs[pi] = vp
+		node = pi
+	}
+}
+
+// childBorderIndex finds the border index of x within a leaf node.
+func childBorderIndex(leaf *node, x graph.NodeID) int {
+	for i, b := range leaf.borders {
+		if b == x {
+			return i
+		}
+	}
+	panic("gtree: vertex not a border of its leaf")
+}
+
+// descendVector derives the global distance vector of child ci from its
+// parent's vector: child borders inherit directly (they appear in the
+// parent's X set); interior X-vertices of the child go through its borders
+// using the child's refined (global) matrix.
+func (q *Querier) descendVector(parent *node, vp []float64, ci int32) []float64 {
+	t := q.t
+	c := &t.nodes[ci]
+	if c.isLeaf() {
+		vc := make([]float64, len(c.borders))
+		for bi, b := range c.borders {
+			vc[bi] = vp[parent.xIdx[b]]
+		}
+		return vc
+	}
+	vc := make([]float64, len(c.X))
+	for i := range vc {
+		vc[i] = math.Inf(1)
+	}
+	for _, bx := range c.borderX {
+		vc[bx] = vp[parent.xIdx[c.X[bx]]]
+	}
+	for xi := range c.X {
+		isBorder := false
+		for _, bx := range c.borderX {
+			if bx == int32(xi) {
+				isBorder = true
+				break
+			}
+		}
+		if isBorder {
+			continue
+		}
+		bestD := math.Inf(1)
+		for _, bx := range c.borderX {
+			if vb := vc[bx]; !math.IsInf(vb, 1) {
+				if d := vb + c.matDist(bx, int32(xi)); d < bestD {
+					bestD = d
+				}
+			}
+		}
+		vc[xi] = bestD
+	}
+	return vc
+}

@@ -1,0 +1,81 @@
+package gtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// Partition refinement must reduce (or at worst preserve) the total border
+// count while keeping queries exact.
+func TestPartitionRefinementReducesBorders(t *testing.T) {
+	g := roadNetwork(t, 3000, 110)
+	refined, err := Build(g, Options{MaxLeafSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Build(g, Options{MaxLeafSize: 64, NoPartitionRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, bw := refined.Stats().Borders, raw.Stats().Borders
+	if br > bw {
+		t.Fatalf("refinement increased borders: %d > %d", br, bw)
+	}
+	t.Logf("borders: refined %d vs unrefined %d (%.0f%% fewer), matrix cells %d vs %d",
+		br, bw, 100*(1-float64(br)/float64(bw)),
+		refined.Stats().MatrixCells, raw.Stats().MatrixCells)
+
+	// Exactness for both variants.
+	d := sp.NewDijkstra(g)
+	qr, qw := refined.NewQuerier(), raw.NewQuerier()
+	rng := rand.New(rand.NewSource(111))
+	for i := 0; i < 150; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		want := d.Dist(u, v)
+		if got := qr.Dist(u, v); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("refined Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		if got := qw.Dist(u, v); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("unrefined Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+// Refinement must keep every vertex in exactly one leaf.
+func TestPartitionRefinementPreservesCoverage(t *testing.T) {
+	g := roadNetwork(t, 1500, 112)
+	tr, err := Build(g, Options{MaxLeafSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counted := 0
+	for i := range tr.nodes {
+		n := &tr.nodes[i]
+		if !n.isLeaf() {
+			continue
+		}
+		counted += len(n.verts)
+		if len(n.verts) == 0 {
+			t.Fatal("empty leaf after refinement")
+		}
+		for _, v := range n.verts {
+			if tr.leafOf[v] != int32(i) {
+				t.Fatalf("vertex %d leafOf mismatch", v)
+			}
+		}
+	}
+	if counted != g.NumNodes() {
+		t.Fatalf("leaves cover %d vertices, want %d", counted, g.NumNodes())
+	}
+	// Balance: no leaf exceeds the size bound.
+	for i := range tr.nodes {
+		if n := &tr.nodes[i]; n.isLeaf() && len(n.verts) > 48 {
+			t.Fatalf("leaf %d oversize: %d", i, len(n.verts))
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package gtree
+
+import (
+	"math"
+
+	"fannr/internal/graph"
+)
+
+// Querier evaluates shortest-path distance queries against a Tree. It
+// owns reusable scratch buffers; create one per goroutine.
+type Querier struct {
+	t    *Tree
+	h    *localHeap
+	dist []float64 // within-leaf Dijkstra scratch
+	cur  []float64 // DP vector scratch
+	next []float64
+	// query counters for the experiment harness
+	queries int64
+}
+
+// NewQuerier returns a querier with scratch sized to the tree.
+func (t *Tree) NewQuerier() *Querier {
+	maxLeaf, maxB := 0, 0
+	for i := range t.nodes {
+		if n := &t.nodes[i]; n.isLeaf() && len(n.verts) > maxLeaf {
+			maxLeaf = len(n.verts)
+		}
+		if b := len(t.nodes[i].borders); b > maxB {
+			maxB = b
+		}
+	}
+	return &Querier{
+		t:    t,
+		h:    newLocalHeap(maxLeaf),
+		dist: make([]float64, maxLeaf),
+		cur:  make([]float64, maxB),
+		next: make([]float64, maxB),
+	}
+}
+
+// Queries returns the number of Dist calls served.
+func (q *Querier) Queries() int64 { return q.queries }
+
+// Dist returns the exact global shortest-path distance between u and v
+// (+Inf when disconnected).
+func (q *Querier) Dist(u, v graph.NodeID) float64 {
+	q.queries++
+	if u == v {
+		return 0
+	}
+	t := q.t
+	lu, lv := t.leafOf[u], t.leafOf[v]
+	if lu == lv {
+		return q.sameLeafDist(lu, u, v)
+	}
+	lca := t.lca(lu, lv)
+	vu, cu := q.upVector(u, lca, q.cur)
+	vv, cv := q.upVector(v, lca, q.next)
+	if len(vu) == 0 || len(vv) == 0 {
+		return math.Inf(1)
+	}
+	lcaN := &t.nodes[lca]
+	best := math.Inf(1)
+	bu := t.nodes[cu].borders
+	bv := t.nodes[cv].borders
+	for i, b1 := range bu {
+		if math.IsInf(vu[i], 1) {
+			continue
+		}
+		x1 := lcaN.xIdx[b1]
+		for j, b2 := range bv {
+			if d := vu[i] + lcaN.matDist(x1, lcaN.xIdx[b2]) + vv[j]; d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// sameLeafDist handles u,v in one leaf: the better of the within-leaf path
+// and a detour leaving and re-entering through the leaf borders (global
+// border-to-border distances come from the parent's refined matrix).
+func (q *Querier) sameLeafDist(leaf int32, u, v graph.NodeID) float64 {
+	t := q.t
+	n := &t.nodes[leaf]
+	pu, pv := t.posInLeaf[u], t.posInLeaf[v]
+	localSSSP(n.ladjStart, n.ladjNode, n.ladjW, int(pu), q.dist[:len(n.verts)], q.h)
+	best := q.dist[pv]
+	if n.parent < 0 {
+		return best // the whole graph is one leaf
+	}
+	p := &t.nodes[n.parent]
+	for bi := range n.borders {
+		du := n.leafDist(bi, int(pu))
+		if math.IsInf(du, 1) {
+			continue
+		}
+		x1 := p.xIdx[n.borders[bi]]
+		for bj := range n.borders {
+			dv := n.leafDist(bj, int(pv))
+			if math.IsInf(dv, 1) {
+				continue
+			}
+			if d := du + p.matDist(x1, p.xIdx[n.borders[bj]]) + dv; d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// upVector computes global distances from u to the borders of the child of
+// lca that contains u, climbing the leaf-to-lca chain. buf provides
+// scratch; the returned slice aliases it. The second return is the
+// child-of-lca tree node index.
+func (q *Querier) upVector(u graph.NodeID, lca int32, buf []float64) ([]float64, int32) {
+	t := q.t
+	l := t.leafOf[u]
+	leaf := &t.nodes[l]
+	pos := int(t.posInLeaf[u])
+	p := &t.nodes[leaf.parent]
+	cur := buf[:len(leaf.borders)]
+	// Base: global(u, b) for leaf borders b — exit through any border b'
+	// within the leaf, then travel globally b' → b via the parent matrix.
+	for bi := range leaf.borders {
+		best := math.Inf(1)
+		xb := p.xIdx[leaf.borders[bi]]
+		for bj := range leaf.borders {
+			w := leaf.leafDist(bj, pos)
+			if math.IsInf(w, 1) {
+				continue
+			}
+			if d := w + p.matDist(p.xIdx[leaf.borders[bj]], xb); d < best {
+				best = d
+			}
+		}
+		cur[bi] = best
+	}
+	node := l
+	tmp := make([]float64, 0, len(cur))
+	for t.nodes[node].parent != lca {
+		pn := t.nodes[node].parent
+		p := &t.nodes[pn]
+		child := &t.nodes[node]
+		tmp = tmp[:0]
+		for _, b := range p.borders {
+			best := math.Inf(1)
+			xb := p.xIdx[b]
+			for bi, cb := range child.borders {
+				if math.IsInf(cur[bi], 1) {
+					continue
+				}
+				if d := cur[bi] + p.matDist(p.xIdx[cb], xb); d < best {
+					best = d
+				}
+			}
+			tmp = append(tmp, best)
+		}
+		if cap(buf) >= len(tmp) {
+			cur = buf[:len(tmp)]
+		} else {
+			cur = make([]float64, len(tmp))
+		}
+		copy(cur, tmp)
+		node = pn
+	}
+	return cur, node
+}
+
+// lca returns the lowest common ancestor of two tree nodes.
+func (t *Tree) lca(a, b int32) int32 {
+	for t.nodes[a].depth > t.nodes[b].depth {
+		a = t.nodes[a].parent
+	}
+	for t.nodes[b].depth > t.nodes[a].depth {
+		b = t.nodes[b].parent
+	}
+	for a != b {
+		a = t.nodes[a].parent
+		b = t.nodes[b].parent
+	}
+	return a
+}

@@ -1,0 +1,107 @@
+package gtree
+
+import (
+	"fmt"
+	"io"
+
+	"fannr/internal/binio"
+	"fannr/internal/graph"
+)
+
+const magic = "FANNRGT1\n"
+
+// Save serializes the tree in fannr's little-endian binary format. The
+// graph itself is not embedded — reattach the same graph in Read.
+func (t *Tree) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(magic)
+	bw.I64(int64(t.g.NumNodes()))
+	bw.I32(int32(t.opt.Fanout))
+	bw.I32(int32(t.opt.MaxLeafSize))
+	bw.I32s(t.leafOf)
+	bw.I32s(t.posInLeaf)
+	bw.I32s(t.leafSeq)
+	bw.I64(int64(len(t.nodes)))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		bw.I32(n.parent)
+		bw.I32(n.depth)
+		bw.I32(n.lo)
+		bw.I32(n.hi)
+		bw.I32s(n.children)
+		bw.I32s(n.verts)
+		bw.I32s(n.borders)
+		bw.I32s(n.X)
+		bw.I32s(n.borderX)
+		bw.F64s(n.mat)
+		bw.I32s(n.ladjStart)
+		bw.I32s(n.ladjNode)
+		bw.F64s(n.ladjW)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a tree written by Save and reattaches it to g,
+// which must be the graph the tree was built on.
+func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
+	br := binio.NewReader(r)
+	br.Magic(magic)
+	nNodes := int(br.I64())
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("gtree: reading header: %w", err)
+	}
+	if nNodes != g.NumNodes() {
+		return nil, fmt.Errorf("gtree: index built on %d nodes, graph has %d", nNodes, g.NumNodes())
+	}
+	t := &Tree{g: g}
+	t.opt.Fanout = int(br.I32())
+	t.opt.MaxLeafSize = int(br.I32())
+	t.leafOf = br.I32s()
+	t.posInLeaf = br.I32s()
+	t.leafSeq = br.I32s()
+	if len(t.leafOf) != nNodes || len(t.posInLeaf) != nNodes || len(t.leafSeq) != nNodes {
+		return nil, fmt.Errorf("gtree: vertex tables truncated")
+	}
+	count := int(br.I64())
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("gtree: reading node count: %w", err)
+	}
+	if count <= 0 || count > 2*nNodes+1 {
+		return nil, fmt.Errorf("gtree: implausible tree-node count %d for %d vertices", count, nNodes)
+	}
+	t.nodes = make([]node, count)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		n.parent = br.I32()
+		n.depth = br.I32()
+		n.lo = br.I32()
+		n.hi = br.I32()
+		n.children = br.I32s()
+		n.verts = br.I32s()
+		n.borders = br.I32s()
+		n.X = br.I32s()
+		n.borderX = br.I32s()
+		n.mat = br.F64s()
+		n.ladjStart = br.I32s()
+		n.ladjNode = br.I32s()
+		n.ladjW = br.F64s()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("gtree: reading tree node %d: %w", i, err)
+		}
+		n.xIdx = make(map[graph.NodeID]int32, len(n.X))
+		for j, v := range n.X {
+			if v < 0 || int(v) >= nNodes {
+				return nil, fmt.Errorf("gtree: tree node %d references vertex %d outside graph", i, v)
+			}
+			n.xIdx[v] = int32(j)
+		}
+		wantMat := len(n.X) * len(n.X)
+		if len(n.children) == 0 {
+			wantMat = len(n.borders) * len(n.verts)
+		}
+		if len(n.mat) != wantMat {
+			return nil, fmt.Errorf("gtree: tree node %d matrix has %d cells, want %d", i, len(n.mat), wantMat)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,72 @@
+package gtree
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := roadNetwork(t, 700, 90)
+	tr, err := Build(g, Options{MaxLeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, q2 := tr.NewQuerier(), tr2.NewQuerier()
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 200; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if a, b := q1.Dist(u, v), q2.Dist(u, v); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("Dist(%d,%d) differs after round trip: %v vs %v", u, v, a, b)
+		}
+	}
+	// kNN still works on the loaded tree.
+	objs := tr2.NewObjectSet([]graph.NodeID{3, 100, 400, 600})
+	targets := graph.NewNodeSet(g.NumNodes())
+	targets.AddAll([]graph.NodeID{3, 100, 400, 600})
+	got := q2.KNN(50, objs, 2, nil)
+	want := sp.NewDijkstra(g).KNNAmong(50, targets, 2, nil)
+	for i := range want {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("loaded-tree KNN dist %d = %v, want %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestReadRejectsGarbageAndWrongGraph(t *testing.T) {
+	g := roadNetwork(t, 400, 92)
+	if _, err := Read(bytes.NewReader([]byte("nope")), g); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	tr, err := Build(g, Options{MaxLeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := roadNetwork(t, 900, 93)
+	if _, err := Read(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("index accepted against a different graph")
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{6, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut]), g); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package phl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the index deserializer: arbitrary bytes must never
+// panic or allocate absurd buffers, and accepted inputs must produce an
+// index whose queries do not crash.
+func FuzzRead(f *testing.F) {
+	// Seed with a real serialized index and some corruptions of it.
+	g := randomGraph(f, 40, 1)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("FANNRPHL1\n"))
+	f.Add([]byte{})
+	corrupted := append([]byte(nil), valid...)
+	for i := 16; i < len(corrupted) && i < 64; i += 7 {
+		corrupted[i] ^= 0xff
+	}
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must be internally usable.
+		n := len(ix.hubs)
+		if n == 0 {
+			t.Fatal("accepted empty index")
+		}
+		_ = ix.Dist(0, int32(n-1))
+		_ = ix.Entries()
+	})
+}

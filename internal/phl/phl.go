@@ -1,0 +1,174 @@
+// Package phl implements an exact 2-hop hub labeling index for
+// shortest-path distance queries on road networks.
+//
+// The paper uses Pruned Highway Labeling (Akiba et al., ALENEX'14) as its
+// fastest distance oracle. This package builds labels with the pruned
+// labeling scheme by the same authors (pruned Dijkstra from vertices in
+// degree order): like PHL it is an exact 2-hop scheme whose queries merge
+// two sorted label arrays in O(label size), it exploits the same low
+// highway dimension of road networks, and it shares PHL's failure mode of
+// exhausting memory on very large graphs — which Fig. 9 of the paper
+// depends on. A configurable entry budget reproduces that failure mode
+// deterministically.
+package phl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fannr/internal/graph"
+	"fannr/internal/pqueue"
+)
+
+// ErrBudget is returned by Build when the label size exceeds
+// Options.MaxEntries, mirroring PHL running out of memory on the paper's
+// CTR and USA datasets.
+var ErrBudget = errors.New("phl: label entry budget exceeded")
+
+// Options configures label construction.
+type Options struct {
+	// MaxEntries caps the total number of label entries across all nodes
+	// (0 means unlimited). Construction fails with ErrBudget beyond it.
+	MaxEntries int64
+}
+
+// Index is an immutable hub-label index. It is safe for concurrent
+// readers.
+type Index struct {
+	rank []int32 // node -> construction rank (hub id space)
+	// Per-node labels sorted by hub rank. hubs[v] and dists[v] are
+	// parallel.
+	hubs  [][]int32
+	dists [][]float64
+	n     int
+}
+
+// Build constructs labels for g by pruned Dijkstra from vertices in
+// descending degree order.
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	n := g.NumNodes()
+	ix := &Index{
+		rank:  make([]int32, n),
+		hubs:  make([][]int32, n),
+		dists: make([][]float64, n),
+		n:     n,
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Degree-descending order puts well-connected vertices first, which is
+	// the standard cheap proxy for highway importance.
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.Degree(order[i]) > g.Degree(order[j])
+	})
+	for r, v := range order {
+		ix.rank[v] = int32(r)
+	}
+
+	h := pqueue.NewIndexedHeap(n)
+	dist := make([]float64, n)
+	stamp := make([]uint32, n)
+	var epoch uint32
+	// tmp[r] holds the root's label keyed by hub rank during one pruned
+	// Dijkstra, enabling O(label) prune checks.
+	tmp := make([]float64, n)
+	tmpStamp := make([]uint32, n)
+	var entries int64
+
+	for r := 0; r < n; r++ {
+		root := order[r]
+		epoch++
+		for i, hub := range ix.hubs[root] {
+			tmp[hub] = ix.dists[root][i]
+			tmpStamp[hub] = epoch
+		}
+		h.Reset()
+		stamp[root] = epoch
+		dist[root] = 0
+		h.Update(root, 0)
+		for h.Len() > 0 {
+			v, dv := h.Pop()
+			// Prune check: if existing labels already certify a distance
+			// ≤ dv between root and v, the search need not go through v.
+			pruned := false
+			hv := ix.hubs[v]
+			dvs := ix.dists[v]
+			for i, hub := range hv {
+				if tmpStamp[hub] == epoch && tmp[hub]+dvs[i] <= dv {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+			ix.hubs[v] = append(ix.hubs[v], int32(r))
+			ix.dists[v] = append(ix.dists[v], dv)
+			entries++
+			if opts.MaxEntries > 0 && entries > opts.MaxEntries {
+				return nil, fmt.Errorf("%w (limit %d)", ErrBudget, opts.MaxEntries)
+			}
+			nbrs, ws := g.Neighbors(v)
+			for i, u := range nbrs {
+				du := dv + ws[i]
+				if stamp[u] != epoch || du < dist[u] {
+					stamp[u] = epoch
+					dist[u] = du
+					h.Update(u, du)
+				}
+			}
+		}
+	}
+	return ix, nil
+}
+
+// Dist returns the exact shortest-path distance between u and v, or +Inf
+// if they are disconnected.
+func (ix *Index) Dist(u, v graph.NodeID) float64 {
+	if u == v {
+		return 0
+	}
+	hu, hv := ix.hubs[u], ix.hubs[v]
+	du, dv := ix.dists[u], ix.dists[v]
+	best := math.Inf(1)
+	i, j := 0, 0
+	for i < len(hu) && j < len(hv) {
+		switch {
+		case hu[i] == hv[j]:
+			if d := du[i] + dv[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		case hu[i] < hv[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return best
+}
+
+// Entries returns the total number of label entries.
+func (ix *Index) Entries() int64 {
+	var total int64
+	for _, h := range ix.hubs {
+		total += int64(len(h))
+	}
+	return total
+}
+
+// MemoryBytes estimates the index footprint (4 bytes per hub id plus 8 per
+// distance).
+func (ix *Index) MemoryBytes() int64 { return ix.Entries() * 12 }
+
+// AvgLabelSize returns the mean number of entries per node.
+func (ix *Index) AvgLabelSize() float64 {
+	if ix.n == 0 {
+		return 0
+	}
+	return float64(ix.Entries()) / float64(ix.n)
+}

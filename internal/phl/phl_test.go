@@ -1,0 +1,173 @@
+package phl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+func randomGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(graph.NodeID(v), graph.NodeID(rng.Intn(v)), 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = b.AddEdge(graph.NodeID(u), graph.NodeID(v), 1+rng.Float64()*9)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDistMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, 100, seed)
+		ix, err := Build(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := sp.NewDijkstra(g)
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3))
+		for i := 0; i < 50; i++ {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if math.Abs(ix.Dist(u, v)-d.Dist(u, v)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistOnRoadNetwork(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 1500, Seed: 21, Name: "phl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sp.NewDijkstra(g)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		want := d.Dist(u, v)
+		if got := ix.Dist(u, v); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func TestDistSelf(t *testing.T) {
+	g := randomGraph(t, 20, 1)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := ix.Dist(graph.NodeID(v), graph.NodeID(v)); d != 0 {
+			t.Fatalf("Dist(%d,%d) = %v, want 0", v, v, d)
+		}
+	}
+}
+
+func TestDistDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(2, 3, 1)
+	g, _ := b.Build()
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ix.Dist(0, 2); !math.IsInf(d, 1) {
+		t.Fatalf("Dist across components = %v, want +Inf", d)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	g := randomGraph(t, 200, 2)
+	_, err := Build(g, Options{MaxEntries: 50})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestLabelsAreSortedAndSized(t *testing.T) {
+	g := randomGraph(t, 150, 3)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ix.hubs {
+		for i := 1; i < len(ix.hubs[v]); i++ {
+			if ix.hubs[v][i] <= ix.hubs[v][i-1] {
+				t.Fatalf("label of %d not strictly sorted by rank", v)
+			}
+		}
+		if len(ix.hubs[v]) == 0 {
+			t.Fatalf("node %d has empty label", v)
+		}
+	}
+	if ix.Entries() <= 0 || ix.MemoryBytes() != ix.Entries()*12 {
+		t.Fatal("entry accounting inconsistent")
+	}
+	if a := ix.AvgLabelSize(); a < 1 {
+		t.Fatalf("AvgLabelSize = %v, want >= 1", a)
+	}
+	// Pruning must keep labels far below the trivial n-per-node bound.
+	if a := ix.AvgLabelSize(); a > float64(g.NumNodes())/2 {
+		t.Fatalf("labels not pruned: avg %v on %d nodes", a, g.NumNodes())
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 2000, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDist(b *testing.B) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 5000, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(g, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		ix.Dist(u, v)
+	}
+}

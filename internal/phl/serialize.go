@@ -1,0 +1,63 @@
+package phl
+
+import (
+	"fmt"
+	"io"
+
+	"fannr/internal/binio"
+)
+
+const magic = "FANNRPHL1\n"
+
+// Save serializes the index in fannr's little-endian binary format.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(magic)
+	bw.I64(int64(ix.n))
+	bw.I32s(ix.rank)
+	for v := 0; v < ix.n; v++ {
+		bw.I32s(ix.hubs[v])
+		bw.F64s(ix.dists[v])
+	}
+	return bw.Flush()
+}
+
+// Read deserializes an index written by Save.
+func Read(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(magic)
+	n := int(br.I64())
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("phl: reading header: %w", err)
+	}
+	if n <= 0 || n > binio.MaxSliceLen {
+		return nil, fmt.Errorf("phl: implausible node count %d", n)
+	}
+	// Read the rank table before committing to n-sized allocations, so a
+	// forged header cannot demand gigabytes for a tiny stream.
+	rank := br.I32s()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("phl: reading rank table: %w", err)
+	}
+	if len(rank) != n {
+		return nil, fmt.Errorf("phl: rank table has %d entries, want %d", len(rank), n)
+	}
+	ix := &Index{
+		n:     n,
+		rank:  rank,
+		hubs:  make([][]int32, n),
+		dists: make([][]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		ix.hubs[v] = br.I32s()
+		ix.dists[v] = br.F64s()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("phl: reading label %d: %w", v, err)
+		}
+		if len(ix.hubs[v]) != len(ix.dists[v]) {
+			return nil, fmt.Errorf("phl: label %d has %d hubs but %d distances",
+				v, len(ix.hubs[v]), len(ix.dists[v]))
+		}
+	}
+	return ix, br.Err()
+}

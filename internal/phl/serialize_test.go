@@ -1,0 +1,59 @@
+package phl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fannr/internal/graph"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := randomGraph(t, 300, 50)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Entries() != ix.Entries() {
+		t.Fatalf("entries %d != %d after round trip", ix2.Entries(), ix.Entries())
+	}
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 200; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if a, b := ix.Dist(u, v), ix2.Dist(u, v); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("Dist(%d,%d) differs after round trip: %v vs %v", u, v, a, b)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	g := randomGraph(t, 50, 52)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at various points must all fail cleanly.
+	data := buf.Bytes()
+	for _, cut := range []int{len(magic), len(magic) + 4, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

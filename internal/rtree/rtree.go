@@ -1,0 +1,527 @@
+// Package rtree implements the 2-D R-tree used by the IER algorithms of
+// fannr: STR bulk loading, quadratic-split insertion, range search,
+// nearest-neighbor and incremental (distance-browsing) nearest-neighbor
+// queries, plus read access to the node structure so that higher layers
+// can run custom best-first traversals (the IER-kNN framework orders
+// entries by the flexible Euclidean aggregate g^ε_φ, not by plain
+// mindist).
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"fannr/internal/pqueue"
+)
+
+// Rect is an axis-aligned minimum bounding rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect is the identity for Union.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// PointRect returns the degenerate rectangle covering one point.
+func PointRect(x, y float64) Rect { return Rect{x, y, x, y} }
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX),
+		MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX),
+		MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// Intersects reports whether two rectangles overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// ContainsPoint reports whether (x,y) lies inside r.
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return x >= r.MinX && x <= r.MaxX && y >= r.MinY && y <= r.MaxY
+}
+
+// MinDist returns the minimum Euclidean distance from (x,y) to r — the
+// mdist(b, q) bound of the paper (0 when the point is inside).
+func (r Rect) MinDist(x, y float64) float64 {
+	dx := 0.0
+	if x < r.MinX {
+		dx = r.MinX - x
+	} else if x > r.MaxX {
+		dx = x - r.MaxX
+	}
+	dy := 0.0
+	if y < r.MinY {
+		dy = r.MinY - y
+	} else if y > r.MaxY {
+		dy = y - r.MaxY
+	}
+	return math.Hypot(dx, dy)
+}
+
+// MinDistRect returns the minimum distance between two rectangles — the
+// mdist(b, b') bound of the paper.
+func (r Rect) MinDistRect(o Rect) float64 {
+	dx := 0.0
+	if o.MaxX < r.MinX {
+		dx = r.MinX - o.MaxX
+	} else if o.MinX > r.MaxX {
+		dx = o.MinX - r.MaxX
+	}
+	dy := 0.0
+	if o.MaxY < r.MinY {
+		dy = r.MinY - o.MaxY
+	} else if o.MinY > r.MaxY {
+		dy = o.MinY - r.MaxY
+	}
+	return math.Hypot(dx, dy)
+}
+
+// Point is an indexed 2-D point carrying an application id (a node id in
+// fannr).
+type Point struct {
+	X, Y float64
+	ID   int32
+}
+
+// Node is an R-tree node. Leaves hold points; internal nodes hold child
+// nodes. The structure is exposed read-only for custom traversals.
+type Node struct {
+	rect     Rect
+	children []*Node
+	points   []Point
+	leaf     bool
+}
+
+// Rect returns the node's MBR.
+func (n *Node) Rect() Rect { return n.rect }
+
+// IsLeaf reports whether the node stores points.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Children returns the child nodes of an internal node (nil for leaves).
+// The slice is owned by the tree and must not be modified.
+func (n *Node) Children() []*Node { return n.children }
+
+// Points returns the points of a leaf (nil for internal nodes). The slice
+// is owned by the tree and must not be modified.
+func (n *Node) Points() []Point { return n.points }
+
+// Tree is an R-tree over 2-D points.
+type Tree struct {
+	root   *Node
+	fanout int
+	size   int
+}
+
+// DefaultFanout matches the paper's experimental setting (f = 4).
+const DefaultFanout = 4
+
+// New returns an empty tree with the given fanout (DefaultFanout if < 2).
+func New(fanout int) *Tree {
+	if fanout < 2 {
+		fanout = DefaultFanout
+	}
+	return &Tree{root: &Node{leaf: true, rect: EmptyRect()}, fanout: fanout}
+}
+
+// Len reports the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root node for custom traversals.
+func (t *Tree) Root() *Node { return t.root }
+
+// BulkLoad builds a tree from pts using Sort-Tile-Recursive packing, which
+// yields near-optimal leaves for static point sets. The input slice is
+// reordered in place.
+func BulkLoad(pts []Point, fanout int) *Tree {
+	if fanout < 2 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{fanout: fanout, size: len(pts)}
+	if len(pts) == 0 {
+		t.root = &Node{leaf: true, rect: EmptyRect()}
+		return t
+	}
+	leaves := strPack(pts, fanout)
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level, fanout)
+	}
+	t.root = level[0]
+	return t
+}
+
+func strPack(pts []Point, fanout int) []*Node {
+	nLeaves := (len(pts) + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := nSlices * fanout
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	var leaves []*Node
+	for s := 0; s < len(pts); s += sliceSize {
+		e := s + sliceSize
+		if e > len(pts) {
+			e = len(pts)
+		}
+		slice := pts[s:e]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Y < slice[j].Y })
+		for l := 0; l < len(slice); l += fanout {
+			le := l + fanout
+			if le > len(slice) {
+				le = len(slice)
+			}
+			leaf := &Node{leaf: true, points: append([]Point(nil), slice[l:le]...)}
+			leaf.recompute()
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packNodes(nodes []*Node, fanout int) []*Node {
+	nParents := (len(nodes) + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nParents))))
+	sliceSize := nSlices * fanout
+	centerX := func(n *Node) float64 { return (n.rect.MinX + n.rect.MaxX) / 2 }
+	centerY := func(n *Node) float64 { return (n.rect.MinY + n.rect.MaxY) / 2 }
+	sort.Slice(nodes, func(i, j int) bool { return centerX(nodes[i]) < centerX(nodes[j]) })
+	var parents []*Node
+	for s := 0; s < len(nodes); s += sliceSize {
+		e := s + sliceSize
+		if e > len(nodes) {
+			e = len(nodes)
+		}
+		slice := nodes[s:e]
+		sort.Slice(slice, func(i, j int) bool { return centerY(slice[i]) < centerY(slice[j]) })
+		for l := 0; l < len(slice); l += fanout {
+			le := l + fanout
+			if le > len(slice) {
+				le = len(slice)
+			}
+			p := &Node{children: append([]*Node(nil), slice[l:le]...)}
+			p.recompute()
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func (n *Node) recompute() {
+	r := EmptyRect()
+	if n.leaf {
+		for _, p := range n.points {
+			r = r.Union(PointRect(p.X, p.Y))
+		}
+	} else {
+		for _, c := range n.children {
+			r = r.Union(c.rect)
+		}
+	}
+	n.rect = r
+}
+
+// Insert adds a point using the classic least-enlargement descent with
+// quadratic split.
+func (t *Tree) Insert(p Point) {
+	t.size++
+	split := t.insert(t.root, p)
+	if split != nil {
+		newRoot := &Node{children: []*Node{t.root, split}}
+		newRoot.recompute()
+		t.root = newRoot
+	}
+}
+
+func (t *Tree) insert(n *Node, p Point) *Node {
+	if n.leaf {
+		n.points = append(n.points, p)
+		n.rect = n.rect.Union(PointRect(p.X, p.Y))
+		if len(n.points) > t.fanout {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	best := -1
+	bestEnlarge := math.Inf(1)
+	bestArea := math.Inf(1)
+	pr := PointRect(p.X, p.Y)
+	for i, c := range n.children {
+		enlarged := c.rect.Union(pr).Area() - c.rect.Area()
+		if enlarged < bestEnlarge || (enlarged == bestEnlarge && c.rect.Area() < bestArea) {
+			best, bestEnlarge, bestArea = i, enlarged, c.rect.Area()
+		}
+	}
+	split := t.insert(n.children[best], p)
+	n.rect = n.rect.Union(pr)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.fanout {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+func (t *Tree) splitLeaf(n *Node) *Node {
+	pts := n.points
+	// Quadratic pick-seeds: the pair wasting the most area.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			waste := PointRect(pts[i].X, pts[i].Y).Union(PointRect(pts[j].X, pts[j].Y)).Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	a := &Node{leaf: true, points: []Point{pts[s1]}}
+	bn := &Node{leaf: true, points: []Point{pts[s2]}}
+	a.recompute()
+	bn.recompute()
+	for i, p := range pts {
+		if i == s1 || i == s2 {
+			continue
+		}
+		ga := a.rect.Union(PointRect(p.X, p.Y)).Area() - a.rect.Area()
+		gb := bn.rect.Union(PointRect(p.X, p.Y)).Area() - bn.rect.Area()
+		if ga < gb || (ga == gb && len(a.points) <= len(bn.points)) {
+			a.points = append(a.points, p)
+			a.rect = a.rect.Union(PointRect(p.X, p.Y))
+		} else {
+			bn.points = append(bn.points, p)
+			bn.rect = bn.rect.Union(PointRect(p.X, p.Y))
+		}
+	}
+	*n = *a
+	return bn
+}
+
+func (t *Tree) splitInternal(n *Node) *Node {
+	cs := n.children
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			waste := cs[i].rect.Union(cs[j].rect).Area() - cs[i].rect.Area() - cs[j].rect.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	a := &Node{children: []*Node{cs[s1]}}
+	bn := &Node{children: []*Node{cs[s2]}}
+	a.recompute()
+	bn.recompute()
+	for i, c := range cs {
+		if i == s1 || i == s2 {
+			continue
+		}
+		ga := a.rect.Union(c.rect).Area() - a.rect.Area()
+		gb := bn.rect.Union(c.rect).Area() - bn.rect.Area()
+		if ga < gb || (ga == gb && len(a.children) <= len(bn.children)) {
+			a.children = append(a.children, c)
+			a.rect = a.rect.Union(c.rect)
+		} else {
+			bn.children = append(bn.children, c)
+			bn.rect = bn.rect.Union(c.rect)
+		}
+	}
+	*n = *a
+	return bn
+}
+
+// Delete removes one point with the given coordinates and id, reporting
+// whether it was found. Underfull nodes are tolerated (the tree stays
+// valid; packing quality degrades gracefully under churn) except that
+// empty non-root leaves are pruned and parent MBRs are tightened along
+// the deletion path.
+func (t *Tree) Delete(p Point) bool {
+	if t.size == 0 {
+		return false
+	}
+	var rec func(n *Node) (found, empty bool)
+	rec = func(n *Node) (bool, bool) {
+		if !n.rect.ContainsPoint(p.X, p.Y) {
+			return false, false
+		}
+		if n.leaf {
+			for i, q := range n.points {
+				if q == p {
+					n.points = append(n.points[:i], n.points[i+1:]...)
+					n.recompute()
+					return true, len(n.points) == 0
+				}
+			}
+			return false, false
+		}
+		for i, c := range n.children {
+			found, empty := rec(c)
+			if !found {
+				continue
+			}
+			if empty {
+				n.children = append(n.children[:i], n.children[i+1:]...)
+			}
+			n.recompute()
+			return true, len(n.children) == 0
+		}
+		return false, false
+	}
+	found, _ := rec(t.root)
+	if found {
+		t.size--
+		if t.size == 0 {
+			t.root = &Node{leaf: true, rect: EmptyRect()}
+		}
+	}
+	return found
+}
+
+// Search invokes fn for every point inside r; returning false stops the
+// search early.
+func (t *Tree) Search(r Rect, fn func(Point) bool) {
+	if t.size == 0 {
+		return
+	}
+	var rec func(n *Node) bool
+	rec = func(n *Node) bool {
+		if !n.rect.Intersects(r) {
+			return true
+		}
+		if n.leaf {
+			for _, p := range n.points {
+				if r.ContainsPoint(p.X, p.Y) && !fn(p) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+}
+
+// NN returns the nearest indexed point to (x,y). ok is false on an empty
+// tree.
+func (t *Tree) NN(x, y float64) (Point, float64, bool) {
+	it := t.IncNN(x, y)
+	return it.Next()
+}
+
+// IncNN starts a distance-browsing (Hjaltason–Samet) incremental
+// nearest-neighbor scan from (x,y). Each Next call returns the next
+// nearest point; the iterator is the backbone of every IER algorithm in
+// fannr.
+func (t *Tree) IncNN(x, y float64) *IncNN {
+	it := &IncNN{x: x, y: y, h: pqueue.NewHeap[incEntry](16)}
+	if t.size > 0 {
+		it.h.Push(t.root.rect.MinDist(x, y), incEntry{node: t.root})
+	}
+	return it
+}
+
+type incEntry struct {
+	node  *Node // nil for point entries
+	point Point
+}
+
+// IncNN is an incremental nearest-neighbor iterator.
+type IncNN struct {
+	x, y float64
+	h    *pqueue.Heap[incEntry]
+}
+
+// Next returns the next nearest point and its Euclidean distance. ok is
+// false when the tree is exhausted.
+func (it *IncNN) Next() (Point, float64, bool) {
+	for it.h.Len() > 0 {
+		e := it.h.Pop()
+		if e.Value.node == nil {
+			return e.Value.point, e.Key, true
+		}
+		n := e.Value.node
+		if n.leaf {
+			for _, p := range n.points {
+				it.h.Push(math.Hypot(p.X-it.x, p.Y-it.y), incEntry{point: p})
+			}
+		} else {
+			for _, c := range n.children {
+				it.h.Push(c.rect.MinDist(it.x, it.y), incEntry{node: c})
+			}
+		}
+	}
+	return Point{}, 0, false
+}
+
+// Peek returns the lower bound on the distance of the next point without
+// consuming it (Inf when exhausted).
+func (it *IncNN) Peek() float64 {
+	for it.h.Len() > 0 {
+		e := it.h.Min()
+		if e.Value.node == nil {
+			return e.Key
+		}
+		// Expand nodes until a point surfaces at the top.
+		it.h.Pop()
+		n := e.Value.node
+		if n.leaf {
+			for _, p := range n.points {
+				it.h.Push(math.Hypot(p.X-it.x, p.Y-it.y), incEntry{point: p})
+			}
+		} else {
+			for _, c := range n.children {
+				it.h.Push(c.rect.MinDist(it.x, it.y), incEntry{node: c})
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+// Stats summarizes the tree shape for the index-cost experiments
+// (Appendix A of the paper).
+type Stats struct {
+	Nodes, Leaves, Height int
+	MemoryBytes           int64
+}
+
+// Stats walks the tree and reports its shape and estimated footprint.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		s.Nodes++
+		if depth > s.Height {
+			s.Height = depth
+		}
+		s.MemoryBytes += 40 // rect + headers
+		if n.leaf {
+			s.Leaves++
+			s.MemoryBytes += int64(len(n.points)) * 20
+			return
+		}
+		s.MemoryBytes += int64(len(n.children)) * 8
+		for _, c := range n.children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.root, 1)
+	return s
+}

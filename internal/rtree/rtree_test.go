@@ -1,0 +1,323 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: int32(i)}
+	}
+	return pts
+}
+
+func TestRectMinDist(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	cases := []struct {
+		x, y, want float64
+	}{
+		{5, 5, 0},   // inside
+		{0, 0, 0},   // corner
+		{15, 5, 5},  // right
+		{5, -3, 3},  // below
+		{13, 14, 5}, // diagonal 3-4-5
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("MinDist(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestRectMinDistRect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if d := a.MinDistRect(Rect{5, 5, 20, 20}); d != 0 {
+		t.Fatalf("overlapping rects dist = %v, want 0", d)
+	}
+	if d := a.MinDistRect(Rect{13, 14, 20, 20}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("diagonal rect dist = %v, want 5", d)
+	}
+}
+
+func TestRectUnionArea(t *testing.T) {
+	u := Rect{0, 0, 1, 1}.Union(Rect{2, 3, 4, 5})
+	if u != (Rect{0, 0, 4, 5}) {
+		t.Fatalf("Union = %+v", u)
+	}
+	if a := u.Area(); a != 20 {
+		t.Fatalf("Area = %v, want 20", a)
+	}
+	if e := EmptyRect().Union(Rect{1, 1, 2, 2}); e != (Rect{1, 1, 2, 2}) {
+		t.Fatalf("EmptyRect union = %+v", e)
+	}
+}
+
+// MinDist property: it never exceeds the true distance to any contained point.
+func TestMinDistLowerBoundProperty(t *testing.T) {
+	f := func(px, py, qx, qy, x, y float64) bool {
+		r := PointRect(px, py).Union(PointRect(qx, qy))
+		for _, p := range [][2]float64{{px, py}, {qx, qy}} {
+			true1 := math.Hypot(p[0]-x, p[1]-y)
+			if r.MinDist(x, y) > true1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkTreeInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		if n.IsLeaf() {
+			for _, p := range n.Points() {
+				if !n.Rect().ContainsPoint(p.X, p.Y) {
+					t.Fatalf("leaf MBR %+v misses point %+v", n.Rect(), p)
+				}
+			}
+			return len(n.Points())
+		}
+		total := 0
+		for _, c := range n.Children() {
+			u := n.Rect().Union(c.Rect())
+			if u != n.Rect() {
+				t.Fatalf("child MBR %+v escapes parent %+v", c.Rect(), n.Rect())
+			}
+			total += rec(c)
+		}
+		return total
+	}
+	if got := rec(tr.Root()); got != tr.Len() {
+		t.Fatalf("tree holds %d points, Len() = %d", got, tr.Len())
+	}
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 17, 100, 1000} {
+		tr := BulkLoad(randomPoints(n, int64(n)), 4)
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		checkTreeInvariants(t, tr)
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	tr := New(4)
+	pts := randomPoints(500, 9)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(pts))
+	}
+	checkTreeInvariants(t, tr)
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(400, 3)
+	tr := BulkLoad(append([]Point(nil), pts...), 4)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		x1, y1 := rng.Float64()*1000, rng.Float64()*1000
+		r := Rect{x1, y1, x1 + rng.Float64()*300, y1 + rng.Float64()*300}
+		want := map[int32]bool{}
+		for _, p := range pts {
+			if r.ContainsPoint(p.X, p.Y) {
+				want[p.ID] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.Search(r, func(p Point) bool { got[p.ID] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("search found %d, want %d", len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("search missed id %d", id)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	pts := randomPoints(100, 5)
+	tr := BulkLoad(pts, 4)
+	count := 0
+	tr.Search(Rect{-1, -1, 2000, 2000}, func(Point) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestNNMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := randomPoints(200, seed)
+		tr := BulkLoad(append([]Point(nil), pts...), 4)
+		rng := rand.New(rand.NewSource(seed ^ 0xff))
+		for i := 0; i < 20; i++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			best := math.Inf(1)
+			for _, p := range pts {
+				if d := math.Hypot(p.X-x, p.Y-y); d < best {
+					best = d
+				}
+			}
+			_, got, ok := tr.NN(x, y)
+			if !ok || math.Abs(got-best) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNEmptyTree(t *testing.T) {
+	tr := New(4)
+	if _, _, ok := tr.NN(0, 0); ok {
+		t.Fatal("NN on empty tree should report !ok")
+	}
+	it := tr.IncNN(0, 0)
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("IncNN on empty tree should report !ok")
+	}
+	if !math.IsInf(it.Peek(), 1) {
+		t.Fatal("Peek on empty iterator should be +Inf")
+	}
+}
+
+func TestIncNNFullOrder(t *testing.T) {
+	pts := randomPoints(300, 7)
+	tr := BulkLoad(append([]Point(nil), pts...), 4)
+	x, y := 500.0, 500.0
+	want := make([]float64, len(pts))
+	for i, p := range pts {
+		want[i] = math.Hypot(p.X-x, p.Y-y)
+	}
+	sort.Float64s(want)
+	it := tr.IncNN(x, y)
+	for i := 0; ; i++ {
+		if peek := it.Peek(); !math.IsInf(peek, 1) && math.Abs(peek-want[i]) > 1e-9 {
+			t.Fatalf("Peek %d = %v, want %v", i, peek, want[i])
+		}
+		_, d, ok := it.Next()
+		if !ok {
+			if i != len(pts) {
+				t.Fatalf("iterator exhausted after %d, want %d", i, len(pts))
+			}
+			break
+		}
+		if math.Abs(d-want[i]) > 1e-9 {
+			t.Fatalf("IncNN order %d = %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+func TestIncNNOnInsertedTree(t *testing.T) {
+	tr := New(4)
+	pts := randomPoints(150, 8)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	prev := -1.0
+	it := tr.IncNN(10, 20)
+	n := 0
+	for {
+		_, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d < prev {
+			t.Fatalf("IncNN not monotone: %v after %v", d, prev)
+		}
+		prev = d
+		n++
+	}
+	if n != len(pts) {
+		t.Fatalf("IncNN yielded %d, want %d", n, len(pts))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts := randomPoints(200, 11)
+	tr := BulkLoad(append([]Point(nil), pts...), 4)
+	// Delete half the points; NN answers must track the survivors.
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(pts[i]) {
+			t.Fatalf("Delete(%+v) not found", pts[i])
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	checkTreeInvariants(t, tr)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		best := math.Inf(1)
+		for _, p := range pts[100:] {
+			if d := math.Hypot(p.X-x, p.Y-y); d < best {
+				best = d
+			}
+		}
+		if _, got, ok := tr.NN(x, y); !ok || math.Abs(got-best) > 1e-9 {
+			t.Fatalf("NN after deletes = %v, want %v", got, best)
+		}
+	}
+	// Double-delete and absent point report false.
+	if tr.Delete(pts[0]) {
+		t.Fatal("double delete reported found")
+	}
+	if tr.Delete(Point{X: -999, Y: -999, ID: 12345}) {
+		t.Fatal("absent point reported found")
+	}
+	// Drain completely; the tree stays usable.
+	for _, p := range pts[100:] {
+		if !tr.Delete(p) {
+			t.Fatalf("drain: %+v not found", p)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after drain = %d", tr.Len())
+	}
+	if _, _, ok := tr.NN(0, 0); ok {
+		t.Fatal("NN on drained tree should report !ok")
+	}
+	tr.Insert(Point{X: 1, Y: 2, ID: 7})
+	if p, _, ok := tr.NN(0, 0); !ok || p.ID != 7 {
+		t.Fatal("insert after drain broken")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := BulkLoad(randomPoints(256, 6), 4)
+	s := tr.Stats()
+	if s.Leaves == 0 || s.Nodes < s.Leaves || s.Height < 2 || s.MemoryBytes <= 0 {
+		t.Fatalf("implausible stats: %+v", s)
+	}
+}
+
+func BenchmarkIncNN(b *testing.B) {
+	tr := BulkLoad(randomPoints(10000, 1), 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.IncNN(500, 500)
+		for j := 0; j < 10; j++ {
+			it.Next()
+		}
+	}
+}

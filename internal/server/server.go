@@ -1,0 +1,264 @@
+// Package server exposes FANN_R querying over HTTP — the "location-based
+// services" deployment the paper's introduction motivates. One server
+// holds a road network with its indexes; clients post query/data point
+// sets and get the optimal site with its flexible subset back as JSON.
+//
+// Engines are stateful, so the server serializes query execution with a
+// mutex; the heavy shared state (graph, hub labels, G-tree) is immutable
+// and built once at startup.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// Options configures which engines the server offers. INE and A* are
+// always available; PHL and CH variants appear when the matching index is
+// supplied, and further engines (e.g., G-tree) register via AddEngine.
+type Options struct {
+	PHL core.Oracle // hub-label index (enables "PHL", "IER-PHL")
+	CH  core.Oracle // contraction-hierarchy querier (enables "CH", "IER-CH")
+}
+
+// Server answers FANN_R queries over HTTP.
+type Server struct {
+	g       *graph.Graph
+	mu      sync.Mutex
+	engines map[string]core.GPhi
+	started time.Time
+}
+
+// New builds a server over g.
+func New(g *graph.Graph, opts Options) (*Server, error) {
+	s := &Server{
+		g:       g,
+		engines: map[string]core.GPhi{},
+		started: time.Now(),
+	}
+	s.engines["INE"] = core.NewINE(g)
+	s.engines["A*"] = core.NewOracleGPhi("A*", sp.NewAStar(g))
+	if g.HasCoords() {
+		ier, err := core.NewIERGPhi("IER-A*", g, sp.NewAStar(g))
+		if err != nil {
+			return nil, err
+		}
+		s.engines["IER-A*"] = ier
+	}
+	if opts.PHL != nil {
+		s.engines["PHL"] = core.NewOracleGPhi("PHL", opts.PHL)
+		if g.HasCoords() {
+			ier, err := core.NewIERGPhi("IER-PHL", g, opts.PHL)
+			if err != nil {
+				return nil, err
+			}
+			s.engines["IER-PHL"] = ier
+		}
+	}
+	if opts.CH != nil {
+		s.engines["CH"] = core.NewOracleGPhi("CH", opts.CH)
+		if g.HasCoords() {
+			ier, err := core.NewIERGPhi("IER-CH", g, opts.CH)
+			if err != nil {
+				return nil, err
+			}
+			s.engines["IER-CH"] = ier
+		}
+	}
+	return s, nil
+}
+
+// AddEngine registers an additional named engine (e.g., a G-tree engine
+// built by the caller).
+func (s *Server) AddEngine(name string, gp core.GPhi) { s.engines[name] = gp }
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /meta", s.handleMeta)
+	mux.HandleFunc("POST /fann", s.handleFANN)
+	mux.HandleFunc("POST /dist", s.handleDist)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).String(),
+	})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(s.engines))
+	for name := range s.engines {
+		names = append(names, name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": s.g.Name(),
+		"nodes":   s.g.NumNodes(),
+		"edges":   s.g.NumEdges(),
+		"coords":  s.g.HasCoords(),
+		"engines": names,
+	})
+}
+
+// FANNRequest is the /fann request body.
+type FANNRequest struct {
+	P      []graph.NodeID `json:"p"`
+	Q      []graph.NodeID `json:"q"`
+	Phi    float64        `json:"phi"`
+	Agg    string         `json:"agg"`    // "max" | "sum"
+	Algo   string         `json:"algo"`   // "gd" | "rlist" | "ier" | "exactmax" | "apxsum"
+	Engine string         `json:"engine"` // one of /meta's engines (default "INE")
+	K      int            `json:"k"`      // answers to return (default 1)
+}
+
+// FANNAnswer is one result of a /fann call.
+type FANNAnswer struct {
+	P      graph.NodeID   `json:"p"`
+	Dist   float64        `json:"dist"`
+	Subset []graph.NodeID `json:"subset"`
+}
+
+// FANNResponse is the /fann response body.
+type FANNResponse struct {
+	Answers []FANNAnswer `json:"answers"`
+	Micros  int64        `json:"micros"`
+}
+
+func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
+	var req FANNRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	q := core.Query{P: req.P, Q: req.Q, Phi: req.Phi}
+	switch req.Agg {
+	case "", "max":
+		q.Agg = core.Max
+	case "sum":
+		q.Agg = core.Sum
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown aggregate %q", req.Agg))
+		return
+	}
+	if err := q.Validate(s.g); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 1 {
+		req.K = 1
+	}
+	engineName := req.Engine
+	if engineName == "" {
+		engineName = "INE"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gp, ok := s.engines[engineName]
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q (see /meta)", engineName))
+		return
+	}
+
+	start := time.Now()
+	answers, err := s.dispatch(req.Algo, gp, q, req.K)
+	elapsed := time.Since(start)
+	switch {
+	case errors.Is(err, core.ErrNoResult):
+		writeErr(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := FANNResponse{Micros: elapsed.Microseconds()}
+	for _, a := range answers {
+		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) dispatch(algo string, gp core.GPhi, q core.Query, k int) ([]core.Answer, error) {
+	single := func(a core.Answer, err error) ([]core.Answer, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []core.Answer{a}, nil
+	}
+	switch algo {
+	case "", "gd":
+		if k > 1 {
+			return core.KGD(s.g, gp, q, k)
+		}
+		return single(core.GD(s.g, gp, q))
+	case "rlist":
+		if k > 1 {
+			return core.KRList(s.g, gp, q, k)
+		}
+		return single(core.RList(s.g, gp, q))
+	case "ier":
+		if !s.g.HasCoords() {
+			return nil, errors.New("ier needs coordinates")
+		}
+		rtP := core.BuildPTree(s.g, q.P)
+		if k > 1 {
+			return core.KIERKNN(s.g, rtP, gp, q, k, core.IEROptions{})
+		}
+		return single(core.IERKNN(s.g, rtP, gp, q, core.IEROptions{}))
+	case "exactmax":
+		if k > 1 {
+			return core.KExactMax(s.g, gp, q, k)
+		}
+		return single(core.ExactMax(s.g, gp, q))
+	case "apxsum":
+		if k > 1 {
+			return core.KAPXSum(s.g, gp, q, k)
+		}
+		return single(core.APXSum(s.g, gp, q))
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// DistRequest is the /dist request body.
+type DistRequest struct {
+	U graph.NodeID `json:"u"`
+	V graph.NodeID `json:"v"`
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	var req DistRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n := graph.NodeID(s.g.NumNodes())
+	if req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("node ids outside [0,%d)", n))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := sp.NewDijkstra(s.g).Dist(req.U, req.V)
+	writeJSON(w, http.StatusOK, map[string]float64{"dist": d})
+}

@@ -1,0 +1,109 @@
+package sp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fannr/internal/graph"
+)
+
+func TestALTMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, 100, seed)
+		a := NewALT(g, 4)
+		d := NewDijkstra(g)
+		rng := rand.New(rand.NewSource(seed ^ 0xa17))
+		for i := 0; i < 30; i++ {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if math.Abs(a.Dist(u, v)-d.Dist(u, v)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALTHeuristicAdmissible(t *testing.T) {
+	g := randomGraph(t, 150, 40)
+	a := NewALT(g, 6)
+	d := NewDijkstra(g)
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		lb := a.lowerBound(u, v)
+		if true1 := d.Dist(u, v); lb > true1+1e-9 {
+			t.Fatalf("landmark bound %v exceeds true distance %v for (%d,%d)", lb, true1, u, v)
+		}
+	}
+}
+
+func TestALTScansFewerThanDijkstra(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 3000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewALT(g, 8)
+	d := NewDijkstra(g)
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 50; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		want := d.Dist(u, v)
+		if got := a.Dist(u, v); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("ALT Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+	if a.NodesScanned() >= d.NodesScanned() {
+		t.Fatalf("ALT scanned %d >= Dijkstra %d — landmarks not helping",
+			a.NodesScanned(), d.NodesScanned())
+	}
+	t.Logf("ALT scanned %d vs Dijkstra %d nodes over 50 queries", a.NodesScanned(), d.NodesScanned())
+}
+
+func TestALTWorksWithoutCoordinates(t *testing.T) {
+	// ALT's selling point over Euclidean A*: no coordinates needed.
+	b := graph.NewBuilder(6)
+	for _, e := range []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 4, W: 4}, {U: 4, V: 5, W: 5}, {U: 0, V: 5, W: 20},
+	} {
+		if err := b.AddEdge(e.U, e.V, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewALT(g, 2)
+	if a.NumLandmarks() < 1 {
+		t.Fatal("no landmarks placed")
+	}
+	if got := a.Dist(0, 5); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("Dist(0,5) = %v, want 15", got)
+	}
+	if a.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive")
+	}
+}
+
+func TestALTDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(2, 3, 1)
+	g, _ := b.Build()
+	a := NewALT(g, 3)
+	if got := a.Dist(0, 3); !math.IsInf(got, 1) {
+		t.Fatalf("cross-component Dist = %v, want +Inf", got)
+	}
+	if got := a.Dist(2, 3); got != 1 {
+		t.Fatalf("Dist(2,3) = %v, want 1", got)
+	}
+}

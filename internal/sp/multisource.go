@@ -1,0 +1,108 @@
+package sp
+
+import (
+	"fannr/internal/graph"
+	"fannr/internal/pqueue"
+)
+
+// Expander is one lane of the paper's "switchable" multi-source Dijkstra
+// (§IV-A implementation details): a resumable Dijkstra from a single
+// source that surfaces the members of a report set (the data points P)
+// from near to far. R-List and Exact-max run |Q| expanders side by side,
+// advancing whichever has the globally nearest unreported data point, so
+// the per-lane search state must survive being switched away from — hence
+// sparse (map-backed) labels rather than graph-sized arrays, keeping the
+// total footprint proportional to the visited region, not O(|Q||V|).
+type Expander struct {
+	g       *graph.Graph
+	src     graph.NodeID
+	h       *pqueue.Heap[graph.NodeID] // lazy-deletion frontier
+	dist    map[graph.NodeID]float64
+	settled map[graph.NodeID]struct{}
+	report  *graph.NodeSet // shared read-only membership of P
+	head    Neighbor
+	hasHead bool
+	done    bool
+	scanned int64
+}
+
+// NewExpander starts a resumable expansion from src that reports members
+// of report. The report set must not be mutated while the expander is
+// live.
+func NewExpander(g *graph.Graph, src graph.NodeID, report *graph.NodeSet) *Expander {
+	e := &Expander{
+		g:       g,
+		src:     src,
+		h:       pqueue.NewHeap[graph.NodeID](16),
+		dist:    make(map[graph.NodeID]float64, 64),
+		settled: make(map[graph.NodeID]struct{}, 64),
+		report:  report,
+	}
+	e.dist[src] = 0
+	e.h.Push(0, src)
+	return e
+}
+
+// Source returns the source node of this expander.
+func (e *Expander) Source() graph.NodeID { return e.src }
+
+// NodesScanned returns the number of nodes settled so far.
+func (e *Expander) NodesScanned() int64 { return e.scanned }
+
+// advance runs the underlying Dijkstra until the next report-set member
+// settles, parking it in head.
+func (e *Expander) advance() {
+	for e.h.Len() > 0 {
+		it := e.h.Pop()
+		v := it.Value
+		if _, ok := e.settled[v]; ok {
+			continue // stale lazy-deletion entry
+		}
+		e.settled[v] = struct{}{}
+		e.scanned++
+		dv := it.Key
+		nbrs, ws := e.g.Neighbors(v)
+		for i, u := range nbrs {
+			if _, ok := e.settled[u]; ok {
+				continue
+			}
+			du := dv + ws[i]
+			if old, ok := e.dist[u]; !ok || du < old {
+				e.dist[u] = du
+				e.h.Push(du, u)
+			}
+		}
+		if e.report.Contains(v) {
+			e.head = Neighbor{Node: v, Dist: dv}
+			e.hasHead = true
+			return
+		}
+	}
+	e.done = true
+}
+
+// Peek returns the nearest not-yet-consumed report-set member without
+// consuming it. ok is false once the reachable report set is exhausted.
+func (e *Expander) Peek() (Neighbor, bool) {
+	if !e.hasHead && !e.done {
+		e.advance()
+	}
+	return e.head, e.hasHead
+}
+
+// Next consumes and returns the nearest not-yet-consumed report-set
+// member. ok is false once the reachable report set is exhausted.
+func (e *Expander) Next() (Neighbor, bool) {
+	head, ok := e.Peek()
+	e.hasHead = false
+	return head, ok
+}
+
+// SettledDist returns the final distance from the source to v if v has
+// already been settled by this expander.
+func (e *Expander) SettledDist(v graph.NodeID) (float64, bool) {
+	if _, ok := e.settled[v]; !ok {
+		return 0, false
+	}
+	return e.dist[v], true
+}

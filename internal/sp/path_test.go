@@ -1,0 +1,62 @@
+package sp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fannr/internal/graph"
+)
+
+func TestPathReconstruction(t *testing.T) {
+	g := randomGraph(t, 120, 30)
+	d := NewDijkstra(g)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		path, dist := d.Path(u, v)
+		if math.IsInf(dist, 1) {
+			t.Fatalf("connected graph reported unreachable (%d,%d)", u, v)
+		}
+		if path[0] != u || path[len(path)-1] != v {
+			t.Fatalf("path endpoints %d..%d, want %d..%d", path[0], path[len(path)-1], u, v)
+		}
+		// Path edges exist and weights sum to the reported distance.
+		total := 0.0
+		for i := 1; i < len(path); i++ {
+			w, ok := g.EdgeWeight(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path uses nonexistent edge (%d,%d)", path[i-1], path[i])
+			}
+			total += w
+		}
+		if math.Abs(total-dist) > 1e-9 {
+			t.Fatalf("path weighs %v, reported %v", total, dist)
+		}
+		if math.Abs(dist-d.Dist(u, v)) > 1e-9 {
+			t.Fatalf("path dist %v != Dist %v", dist, d.Dist(u, v))
+		}
+	}
+}
+
+func TestPathSelf(t *testing.T) {
+	g := randomGraph(t, 20, 32)
+	d := NewDijkstra(g)
+	path, dist := d.Path(5, 5)
+	if dist != 0 || len(path) != 1 || path[0] != 5 {
+		t.Fatalf("self path = %v, %v", path, dist)
+	}
+}
+
+func TestPathUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(2, 3, 1)
+	g, _ := b.Build()
+	d := NewDijkstra(g)
+	path, dist := d.Path(0, 3)
+	if path != nil || !math.IsInf(dist, 1) {
+		t.Fatalf("unreachable path = %v, %v", path, dist)
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+
+	"fannr/internal/graph"
+)
+
+// POILayer describes one of the paper's Table IV point-of-interest layers
+// on the NW network. PaperCount is the OSM extract's cardinality on the
+// 1.09M-node NW graph; synthetic layers scale it by |V|/1.09M. Clustered
+// marks layers whose real-world counterparts occur in clusters (the paper:
+// "some locations, such as schools, often occur in clusters").
+type POILayer struct {
+	Name       string
+	Desc       string
+	PaperCount int
+	Density    float64
+	Clustered  bool
+}
+
+// TableIV lists the paper's POI layers.
+var TableIV = []POILayer{
+	{Name: "PA", Desc: "Parks", PaperCount: 5098, Density: 0.005, Clustered: true},
+	{Name: "SC", Desc: "Schools", PaperCount: 4441, Density: 0.004, Clustered: true},
+	{Name: "FF", Desc: "Fast Food", PaperCount: 1328, Density: 0.001, Clustered: true},
+	{Name: "PO", Desc: "Post Offices", PaperCount: 1403, Density: 0.001, Clustered: false},
+	{Name: "HOT", Desc: "Hotels", PaperCount: 460, Density: 0.0004, Clustered: true},
+	{Name: "HOS", Desc: "Hospitals", PaperCount: 258, Density: 0.0002, Clustered: false},
+	{Name: "UNI", Desc: "Universities", PaperCount: 95, Density: 0.00009, Clustered: false},
+	{Name: "CH", Desc: "Courthouses", PaperCount: 49, Density: 0.00005, Clustered: false},
+}
+
+const paperNWNodes = 1_089_933
+
+// FindPOILayer returns the spec for a Table IV name.
+func FindPOILayer(name string) (POILayer, error) {
+	for _, l := range TableIV {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return POILayer{}, fmt.Errorf("workload: unknown POI layer %q", name)
+}
+
+// POI materializes a Table IV layer on the generator's network with a
+// cardinality proportional to the network size. Clustered layers draw
+// their points from a handful of network-expansion clusters; uniform
+// layers sample the whole network.
+func (gen *Generator) POI(layer POILayer) []graph.NodeID {
+	count := layer.PaperCount * gen.g.NumNodes() / paperNWNodes
+	if count < 4 {
+		count = 4
+	}
+	if count > gen.g.NumNodes() {
+		count = gen.g.NumNodes()
+	}
+	if !layer.Clustered {
+		return gen.sampleDistinct(count, nil)
+	}
+	// Clustered layers: ~1 cluster per 32 points, spread over the whole
+	// network (A = 100%).
+	clusters := count/32 + 1
+	return gen.ClusteredQ(1.0, count, clusters)
+}
