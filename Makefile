@@ -1,0 +1,41 @@
+# Verification tiers. `make verify` is the full pre-merge recipe; the
+# individual tiers exist so CI (or an impatient human) can run them
+# separately. See README "Testing" for what each tier certifies.
+
+GO ?= go
+
+.PHONY: verify build test vet race race-full bench-server bench-build
+
+## Tier 1 — compile + unit/integration tests (the seed contract).
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## Tier 2 — static analysis.
+vet:
+	$(GO) vet ./...
+
+## Tier 3 — race detector over the concurrency-bearing packages
+## (engine pools, HTTP server, parallel index builds). Heavy cases are
+## trimmed via -short; drop it for the full hammer.
+race:
+	$(GO) test -race -short ./internal/server/... ./internal/core/... \
+		./internal/gtree/... ./internal/ch/... ./internal/par/...
+
+## Race detector over everything, full-size tests (slow).
+race-full:
+	$(GO) test -race ./...
+
+verify: build test vet race
+
+## Throughput of the pooled lock-free request path vs the serialized
+## baseline, across core counts.
+bench-server:
+	$(GO) test -run - -bench 'ServerThroughput|DistEndpoint' -cpu 1,2,4,8 \
+		-benchtime 1x ./internal/server/
+
+## Parallel index-construction speedup.
+bench-build:
+	$(GO) test -run - -bench BuildWorkers -benchtime 1x ./internal/gtree/ ./internal/ch/

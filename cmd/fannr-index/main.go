@@ -29,15 +29,16 @@ func main() {
 		kind    = flag.String("kind", "all", "index kind: phl | gtree | ch | all")
 		out     = flag.String("out", "index", "output path (suffixes added for -kind all)")
 		leaf    = flag.Int("gtree-leaf", 256, "G-tree max leaf size (tau)")
+		workers = flag.Int("workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *grFile, *coFile, *kind, *out, *leaf); err != nil {
+	if err := run(*dataset, *scale, *grFile, *coFile, *kind, *out, *leaf, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-index:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf int) error {
+func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf, workers int) error {
 	g, err := loadGraph(dataset, scale, grFile, coFile)
 	if err != nil {
 		return err
@@ -83,7 +84,7 @@ func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf i
 	if wants("gtree") {
 		did = true
 		if err := save(suffix("gtree"), func(w io.Writer) (int64, error) {
-			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{MaxLeafSize: leaf})
+			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{MaxLeafSize: leaf, Workers: workers})
 			if err != nil {
 				return 0, err
 			}
@@ -95,7 +96,7 @@ func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf i
 	if wants("ch") {
 		did = true
 		if err := save(suffix("ch"), func(w io.Writer) (int64, error) {
-			ix, err := fannr.BuildCH(g, fannr.CHOptions{})
+			ix, err := fannr.BuildCH(g, fannr.CHOptions{Workers: workers})
 			if err != nil {
 				return 0, err
 			}

@@ -29,15 +29,16 @@ func main() {
 		scale   = flag.Float64("scale", 1.0/64, "dataset scale")
 		addr    = flag.String("addr", ":8080", "listen address")
 		engines = flag.String("engines", "PHL", "indexes to build at startup: comma-separated from PHL,GTree,CH")
+		workers = flag.Int("workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *addr, *engines); err != nil {
+	if err := run(*dataset, *scale, *addr, *engines, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, addr, engines string) error {
+func run(dataset string, scale float64, addr, engines string, workers int) error {
 	g, err := fannr.LoadDataset(dataset, scale)
 	if err != nil {
 		return err
@@ -45,7 +46,7 @@ func run(dataset string, scale float64, addr, engines string) error {
 	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
 
 	opts := server.Options{}
-	var gtreeEngine core.GPhi
+	var gtreeIndex *fannr.GTree
 	for _, name := range strings.Split(engines, ",") {
 		switch strings.TrimSpace(name) {
 		case "", "INE", "A*":
@@ -59,18 +60,18 @@ func run(dataset string, scale float64, addr, engines string) error {
 			opts.PHL = ix
 		case "GTree":
 			fmt.Println("building G-tree...")
-			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{})
+			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{Workers: workers})
 			if err != nil {
 				return err
 			}
-			gtreeEngine = fannr.NewGTreeGPhi(tr)
+			gtreeIndex = tr
 		case "CH":
 			fmt.Println("building contraction hierarchy...")
-			ix, err := fannr.BuildCH(g, fannr.CHOptions{})
+			ix, err := fannr.BuildCH(g, fannr.CHOptions{Workers: workers})
 			if err != nil {
 				return err
 			}
-			opts.CH = ix.NewQuerier()
+			opts.NewCH = func() core.Oracle { return ix.NewQuerier() }
 		default:
 			return fmt.Errorf("unknown engine %q", name)
 		}
@@ -79,8 +80,12 @@ func run(dataset string, scale float64, addr, engines string) error {
 	if err != nil {
 		return err
 	}
-	if gtreeEngine != nil {
-		srv.AddEngine("GTree", gtreeEngine)
+	if gtreeIndex != nil {
+		if err := srv.AddEngine("GTree", func() core.GPhi {
+			return core.NewGTreeGPhi(gtreeIndex)
+		}); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("listening on %s\n", addr)
 	return http.ListenAndServe(addr, srv.Handler())

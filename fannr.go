@@ -188,6 +188,22 @@ var (
 	NewIERGPhi = core.NewIERGPhi
 )
 
+// Concurrent query serving.
+type (
+	// EnginePool is a named, bounded free-list of g_φ engines: engines
+	// stay single-goroutine per checkout while the shared indexes serve
+	// any number of concurrent readers.
+	EnginePool = core.EnginePool
+	// EngineFactory builds a fresh engine over shared immutable indexes.
+	EngineFactory = core.EngineFactory
+)
+
+// NewEnginePool returns a pool producing engines from factory; capacity
+// bounds the idle free-list (0 = GOMAXPROCS).
+func NewEnginePool(name string, capacity int, factory EngineFactory) *EnginePool {
+	return core.NewEnginePool(name, capacity, factory)
+}
+
 // Distance oracles and indexes.
 type (
 	// PHLIndex is an exact 2-hop hub-label index (the paper's PHL role).

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"fannr/internal/graph"
+	"fannr/internal/par"
 	"fannr/internal/pqueue"
 )
 
@@ -28,6 +29,13 @@ type Options struct {
 	// WitnessSettleLimit bounds each witness search (default 64). Lower
 	// limits speed up preprocessing but admit more (harmless) shortcuts.
 	WitnessSettleLimit int
+	// Workers fans the initial-priority pass — one witness-search-backed
+	// contraction simulation per node, the dominant O(|V|) cost before
+	// the sequential lazy contraction loop — out across a worker pool,
+	// one witness searcher per worker (0 = GOMAXPROCS, 1 = sequential).
+	// The resulting hierarchy is identical for every worker count: each
+	// simulation only reads the untouched initial adjacency.
+	Workers int
 }
 
 // Index is an immutable contraction hierarchy. It is safe for concurrent
@@ -72,11 +80,24 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 		return simulateContraction(adj, contracted, v, ws)
 	}
 
-	// Initial priorities.
+	// Initial priorities. Nothing is contracted yet, so the simulations
+	// are independent reads of the initial adjacency — fan them out with
+	// one witness searcher per worker. The heap is filled sequentially
+	// afterwards to keep its internal layout identical to a 1-worker run.
+	workers := par.Resolve(opts.Workers)
+	prio := make([]float64, n)
+	searchers := make([]*witnessSearcher, workers)
+	searchers[0] = ws
+	par.Do(workers, n, func(w, v int) {
+		if searchers[w] == nil {
+			searchers[w] = newWitnessSearcher(n, opts.WitnessSettleLimit)
+		}
+		diff, _ := simulateContraction(adj, contracted, graph.NodeID(v), searchers[w])
+		prio[v] = float64(diff)
+	})
 	h := pqueue.NewIndexedHeap(n)
 	for v := 0; v < n; v++ {
-		diff, _ := simulate(graph.NodeID(v))
-		h.Update(int32(v), float64(diff))
+		h.Update(int32(v), prio[v])
 	}
 	ix := &Index{rank: rank, n: n}
 	nextRank := int32(0)

@@ -1,6 +1,7 @@
 package ch
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -191,5 +192,65 @@ func BenchmarkDist(b *testing.B) {
 		u := graph.NodeID(rng.Intn(g.NumNodes()))
 		v := graph.NodeID(rng.Intn(g.NumNodes()))
 		q.Dist(u, v)
+	}
+}
+
+// Parallelizing the initial-priority pass must not change the hierarchy:
+// every simulation reads only the untouched initial adjacency, so the
+// index built with many workers is identical to the sequential one —
+// same ranks, same shortcuts, same upward CSR down to the last bit.
+func TestParallelBuildIsDeterministic(t *testing.T) {
+	// A road-like graph: CH contraction degenerates on uniformly random
+	// graphs (unbounded treewidth), which is not the regime it targets.
+	g, err := graph.Generate(graph.GenConfig{Nodes: 1200, Seed: 77, Name: "chdet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		parl, err := Build(g, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.shortcuts != parl.shortcuts {
+			t.Fatalf("workers=%d: shortcuts %d vs %d", workers, parl.shortcuts, seq.shortcuts)
+		}
+		if len(seq.rank) != len(parl.rank) || len(seq.upNode) != len(parl.upNode) {
+			t.Fatalf("workers=%d: shape differs", workers)
+		}
+		for v := range seq.rank {
+			if seq.rank[v] != parl.rank[v] {
+				t.Fatalf("workers=%d: rank[%d] %d vs %d", workers, v, parl.rank[v], seq.rank[v])
+			}
+		}
+		for i := range seq.upStart {
+			if seq.upStart[i] != parl.upStart[i] {
+				t.Fatalf("workers=%d: upStart[%d] differs", workers, i)
+			}
+		}
+		for i := range seq.upNode {
+			if seq.upNode[i] != parl.upNode[i] || seq.upW[i] != parl.upW[i] {
+				t.Fatalf("workers=%d: upward edge %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func BenchmarkBuildWorkers(b *testing.B) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 4000, Seed: 13, Name: "chbench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(g, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

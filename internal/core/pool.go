@@ -1,0 +1,91 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// EngineFactory builds a fresh GPhi engine over shared immutable indexes
+// (graph, hub labels, G-tree, CH upward graph — all safe for concurrent
+// readers). Factories must be callable from any goroutine; everything the
+// returned engine mutates must belong to that engine alone.
+type EngineFactory func() GPhi
+
+// EnginePool is a named, bounded free-list of GPhi engines that lets many
+// goroutines run queries concurrently while preserving the package
+// contract that a single engine is single-goroutine: the contract holds
+// per checkout instead of per process.
+//
+// Get returns a free engine or builds one through the factory when the
+// list is empty; Put returns it for reuse (engines beyond the capacity
+// are dropped for the GC, sync.Pool-style, so a burst of traffic cannot
+// pin an unbounded number of O(|V|) scratch allocations). The pool itself
+// is safe for concurrent use.
+type EnginePool struct {
+	name    string
+	factory EngineFactory
+	free    chan GPhi
+	created atomic.Int64
+	reused  atomic.Int64
+}
+
+// NewEnginePool returns a pool producing engines from factory. capacity
+// bounds the free-list (how many idle engines are retained between
+// checkouts); capacity <= 0 defaults to GOMAXPROCS, matching the maximum
+// useful query parallelism on the host. No engine is built up front.
+func NewEnginePool(name string, capacity int, factory EngineFactory) *EnginePool {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	return &EnginePool{
+		name:    name,
+		factory: factory,
+		free:    make(chan GPhi, capacity),
+	}
+}
+
+// Name identifies the pool's engine ("INE", "PHL", ...).
+func (p *EnginePool) Name() string { return p.name }
+
+// Capacity returns the free-list bound.
+func (p *EnginePool) Capacity() int { return cap(p.free) }
+
+// Get checks an engine out of the pool. The caller owns it exclusively
+// until Put; it must not be shared across goroutines or retained after
+// Put returns it.
+func (p *EnginePool) Get() GPhi {
+	select {
+	case gp := <-p.free:
+		p.reused.Add(1)
+		return gp
+	default:
+		p.created.Add(1)
+		return p.factory()
+	}
+}
+
+// Put returns an engine to the free list; when the list is full the
+// engine is dropped and reclaimed by the GC. Put(nil) is a no-op.
+func (p *EnginePool) Put(gp GPhi) {
+	if gp == nil {
+		return
+	}
+	select {
+	case p.free <- gp:
+	default:
+	}
+}
+
+// Stats reports pool activity: engines built by the factory, checkouts
+// served from the free list, and engines currently idle.
+func (p *EnginePool) Stats() (created, reused int64, idle int) {
+	return p.created.Load(), p.reused.Load(), len(p.free)
+}
+
+// With checks out an engine, runs f, and returns the engine even when f
+// panics — the convenient form for request handlers.
+func (p *EnginePool) With(f func(GPhi) error) error {
+	gp := p.Get()
+	defer p.Put(gp)
+	return f(gp)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+	"fannr/internal/phl"
+	"fannr/internal/sp"
+)
+
+func TestEnginePoolReuseAndBound(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 60, Seed: 2, Name: "pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewEnginePool("INE", 2, func() GPhi { return NewINE(g) })
+	if p.Name() != "INE" || p.Capacity() != 2 {
+		t.Fatalf("name %q capacity %d", p.Name(), p.Capacity())
+	}
+	a, b, c := p.Get(), p.Get(), p.Get()
+	if created, _, _ := p.Stats(); created != 3 {
+		t.Fatalf("created %d, want 3", created)
+	}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c) // beyond capacity: dropped
+	if _, _, idle := p.Stats(); idle != 2 {
+		t.Fatalf("idle %d, want capacity 2", idle)
+	}
+	got := p.Get()
+	if got != b && got != a {
+		t.Fatal("Get did not reuse a pooled engine")
+	}
+	if _, reused, _ := p.Stats(); reused != 1 {
+		t.Fatalf("reused %d, want 1", reused)
+	}
+	p.Put(nil) // no-op
+	if _, _, idle := p.Stats(); idle != 1 {
+		t.Fatalf("idle after nil Put: %d, want 1", idle)
+	}
+}
+
+func TestEnginePoolDefaultCapacity(t *testing.T) {
+	p := NewEnginePool("x", 0, func() GPhi { return nil })
+	if p.Capacity() < 1 {
+		t.Fatalf("default capacity %d", p.Capacity())
+	}
+}
+
+func TestEnginePoolWithReturnsEngineOnPanic(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 60, Seed: 2, Name: "pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewEnginePool("INE", 1, func() GPhi { return NewINE(g) })
+	func() {
+		defer func() { _ = recover() }()
+		_ = p.With(func(GPhi) error { panic("boom") })
+	}()
+	if _, _, idle := p.Stats(); idle != 1 {
+		t.Fatalf("engine leaked on panic: idle %d, want 1", idle)
+	}
+}
+
+// TestEnginePoolConcurrentHammer is the concurrent-correctness test of the
+// pool architecture: many goroutines check engines out of shared pools and
+// run randomized FANN_R queries; every answer must match the sequential
+// brute-force reference. Run it under -race to certify the checkout
+// contract (shared immutable indexes, exclusive per-checkout scratch).
+func TestEnginePoolConcurrentHammer(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 500, Seed: 11, Name: "hammer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := phl.Build(g, phl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gtree.Build(g, gtree.Options{MaxLeafSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := []*EnginePool{
+		NewEnginePool("INE", 4, func() GPhi { return NewINE(g) }),
+		NewEnginePool("A*", 4, func() GPhi { return NewOracleGPhi("A*", sp.NewAStar(g)) }),
+		NewEnginePool("PHL", 4, func() GPhi { return NewOracleGPhi("PHL", labels) }),
+		NewEnginePool("GTree", 4, func() GPhi { return NewGTreeGPhi(tr) }),
+		NewEnginePool("IER-PHL", 4, func() GPhi {
+			e, err := NewIERGPhi("IER-PHL", g, labels)
+			if err != nil {
+				panic(err)
+			}
+			return e
+		}),
+	}
+
+	// Reference answers, computed sequentially with independent machinery.
+	type refQuery struct {
+		q    Query
+		want Answer
+	}
+	numQueries, goroutines, iters := 16, 8, 24
+	if testing.Short() {
+		numQueries, goroutines, iters = 6, 4, 8
+	}
+	rng := rand.New(rand.NewSource(7))
+	var refs []refQuery
+	for len(refs) < numQueries {
+		q := Query{
+			P:   randomNodes(rng, g, 3+rng.Intn(8)),
+			Q:   randomNodes(rng, g, 2+rng.Intn(10)),
+			Phi: 0.25 + rng.Float64()*0.75,
+			Agg: Aggregate(rng.Intn(2)),
+		}
+		want, err := Brute(g, q)
+		if err != nil {
+			continue // e.g. unreachable ⌈φ|Q|⌉ — uninteresting here
+		}
+		refs = append(refs, refQuery{q: q, want: want})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < iters; it++ {
+				ref := refs[rng.Intn(len(refs))]
+				pool := pools[rng.Intn(len(pools))]
+				gp := pool.Get()
+				var got Answer
+				var err error
+				if it%2 == 0 {
+					got, err = GD(g, gp, ref.q)
+				} else {
+					got, err = RList(g, gp, ref.q)
+				}
+				pool.Put(gp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Abs(got.Dist-ref.want.Dist) > 1e-6 {
+					t.Errorf("pool %s: dist %v, want %v", pool.Name(), got.Dist, ref.want.Dist)
+					return
+				}
+				if len(got.Subset) != ref.q.K() {
+					t.Errorf("pool %s: subset size %d, want %d", pool.Name(), len(got.Subset), ref.q.K())
+					return
+				}
+			}
+		}(int64(gi) + 100)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// randomNodes draws count distinct node ids.
+func randomNodes(rng *rand.Rand, g *graph.Graph, count int) []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	out := make([]graph.NodeID, 0, count)
+	for len(out) < count {
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -112,6 +112,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9", "fig10", "fig11", "fig12", "table5",
 		"appendixA", "appendixB", "appendixC",
 		"ablation-bound", "ablation-refine", "extension-engines", "diagnostics",
+		"build-parallel",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

@@ -33,6 +33,7 @@ var Registry = map[string]Driver{
 	"ablation-refine":   AblationRefine,
 	"extension-engines": ExtensionEngines,
 	"diagnostics":       Diagnostics,
+	"build-parallel":    BuildParallel,
 }
 
 // ExperimentIDs returns the registry keys sorted.

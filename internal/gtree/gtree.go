@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"fannr/internal/graph"
+	"fannr/internal/par"
 )
 
 // Options configures construction.
@@ -47,6 +48,12 @@ type Options struct {
 	// moves boundary vertices between halves to cut fewer edges, which
 	// shrinks border sets and hence every distance matrix.
 	NoPartitionRefine bool
+	// Workers fans the matrix-construction passes (leaf matrices,
+	// bottom-up assembly, top-down refinement) out across a worker pool:
+	// 0 = GOMAXPROCS, 1 = the sequential path (kept for ablation). The
+	// resulting index is bit-identical for every worker count — each
+	// matrix row is an independent deterministic Dijkstra.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -131,13 +138,14 @@ func Build(g *graph.Graph, opt Options) (*Tree, error) {
 		posInLeaf: make([]int32, g.NumNodes()),
 		leafSeq:   make([]int32, g.NumNodes()),
 	}
+	workers := par.Resolve(opt.Workers)
 	t.partition()
 	t.assignSequences()
 	t.computeBorders()
-	t.buildLeafMatrices()
-	t.assembleBottomUp()
+	t.buildLeafMatrices(workers)
+	t.assembleBottomUp(workers)
 	if !opt.SkipRefinement {
-		t.refineTopDown()
+		t.refineTopDown(workers)
 	}
 	return t, nil
 }
@@ -421,14 +429,21 @@ func (t *Tree) computeBorders() {
 }
 
 // buildLeafMatrices stores each leaf's local subgraph and its
-// border-to-vertex within-leaf distance matrix.
-func (t *Tree) buildLeafMatrices() {
-	var h *localHeap
+// border-to-vertex within-leaf distance matrix. Leaves are independent,
+// so the pass fans out one leaf per task across the worker pool; each
+// worker reuses its own Dijkstra heap.
+func (t *Tree) buildLeafMatrices(workers int) {
+	var leaves []int
 	for i := range t.nodes {
-		n := &t.nodes[i]
-		if !n.isLeaf() {
-			continue
+		if t.nodes[i].isLeaf() {
+			leaves = append(leaves, i)
 		}
+	}
+	heaps := make([]*localHeap, workers)
+	par.Do(workers, len(leaves), func(w, li int) {
+		i := leaves[li]
+		h := heaps[w]
+		n := &t.nodes[i]
 		nv := len(n.verts)
 		deg := make([]int32, nv)
 		for pos, v := range n.verts {
@@ -458,7 +473,8 @@ func (t *Tree) buildLeafMatrices() {
 			}
 		}
 		if h == nil || h.cap() < nv {
-			h = newLocalHeap(t.opt.MaxLeafSize * 2)
+			h = newLocalHeap(max(t.opt.MaxLeafSize*2, nv))
+			heaps[w] = h
 		}
 		n.mat = make([]float64, len(n.borders)*nv)
 		dist := make([]float64, nv)
@@ -466,14 +482,19 @@ func (t *Tree) buildLeafMatrices() {
 			localSSSP(n.ladjStart, n.ladjNode, n.ladjW, int(t.posInLeaf[b]), dist, h)
 			copy(n.mat[bi*nv:(bi+1)*nv], dist)
 		}
-	}
+	})
 }
 
 // assembleBottomUp computes, for every internal node, the |X|×|X| matrix
 // of shortest-path distances *within the node's subgraph* by Dijkstra over
 // the assembly graph: child border cliques (weighted by the child
-// matrices) plus the original edges crossing between children.
-func (t *Tree) assembleBottomUp() {
+// matrices) plus the original edges crossing between children. Matrix
+// rows are independent single-source searches, so each node's row loop
+// fans out across the worker pool (this also parallelizes the root, the
+// single most expensive matrix).
+func (t *Tree) assembleBottomUp(workers int) {
+	heaps := make([]*localHeap, workers)
+	dists := make([][]float64, workers)
 	// Creation order is top-down BFS, so reverse order visits children
 	// before parents.
 	for i := len(t.nodes) - 1; i >= 0; i-- {
@@ -518,12 +539,16 @@ func (t *Tree) assembleBottomUp() {
 			}
 		}
 		n.mat = make([]float64, nx*nx)
-		dist := make([]float64, nx)
-		h := newLocalHeap(nx)
-		for s := 0; s < nx; s++ {
-			assemblySSSP(adj, s, dist, h)
-			copy(n.mat[s*nx:(s+1)*nx], dist)
-		}
+		par.Do(workers, nx, func(w, s int) {
+			if heaps[w] == nil || heaps[w].cap() < nx {
+				heaps[w] = newLocalHeap(nx)
+			}
+			if len(dists[w]) < nx {
+				dists[w] = make([]float64, nx)
+			}
+			assemblySSSP(adj, s, dists[w][:nx], heaps[w])
+			copy(n.mat[s*nx:(s+1)*nx], dists[w][:nx])
+		})
 	}
 }
 
@@ -549,7 +574,11 @@ func (t *Tree) childOf(idx int32, v graph.NodeID) int32 {
 // inside n (the bottom-up value) or exits and re-enters through borders of
 // n, whose global pairwise distances the (already refined) parent matrix
 // provides.
-func (t *Tree) refineTopDown() {
+// Rows of the through/refined matrices only read the (frozen) bottom-up
+// matrix and the parent's already-refined matrix, so each row loop fans
+// out across the worker pool; node order stays sequential because every
+// node needs its parent refined first.
+func (t *Tree) refineTopDown(workers int) {
 	// Creation order is BFS, so forward order visits parents first. The
 	// root's within-subgraph matrix is already global.
 	for i := 1; i < len(t.nodes); i++ {
@@ -570,7 +599,7 @@ func (t *Tree) refineTopDown() {
 		for bj, b := range n.borders {
 			pb[bj] = p.xIdx[b]
 		}
-		for x := 0; x < nx; x++ {
+		par.Do(workers, nx, func(_, x int) {
 			for bj := 0; bj < nb; bj++ {
 				best := math.Inf(1)
 				for bi := 0; bi < nb; bi++ {
@@ -585,9 +614,9 @@ func (t *Tree) refineTopDown() {
 				}
 				through[x*nb+bj] = best
 			}
-		}
+		})
 		refined := make([]float64, nx*nx)
-		for x := 0; x < nx; x++ {
+		par.Do(workers, nx, func(_, x int) {
 			for y := 0; y < nx; y++ {
 				best := n.mat[x*nx+y]
 				for bj := 0; bj < nb; bj++ {
@@ -601,7 +630,7 @@ func (t *Tree) refineTopDown() {
 				}
 				refined[x*nx+y] = best
 			}
-		}
+		})
 		n.mat = refined
 	}
 }

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, w := range []int{1, 2, 7, 64} {
+		if got := Resolve(w); got != w {
+			t.Fatalf("Resolve(%d) = %d", w, got)
+		}
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 17, 256} {
+			hits := make([]atomic.Int32, n)
+			Do(workers, n, func(_, i int) { hits[i].Add(1) })
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDoWorkerIDsAreDense(t *testing.T) {
+	const workers, n = 4, 1000
+	seen := make([]atomic.Int32, workers)
+	Do(workers, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d outside [0,%d)", w, workers)
+			return
+		}
+		seen[w].Add(1)
+	})
+	total := int32(0)
+	for w := range seen {
+		total += seen[w].Load()
+	}
+	if total != n {
+		t.Fatalf("workers processed %d items, want %d", total, n)
+	}
+}
+
+// Per-worker scratch must never be observed by two concurrent calls: the
+// contract is that calls with the same worker id are sequential.
+func TestDoPerWorkerScratchIsExclusive(t *testing.T) {
+	const workers, n = 8, 4096
+	busy := make([]atomic.Bool, workers)
+	Do(workers, n, func(w, _ int) {
+		if !busy[w].CompareAndSwap(false, true) {
+			t.Errorf("worker %d entered concurrently", w)
+			return
+		}
+		busy[w].Store(false)
+	})
+}
+
+func TestDoInlineWhenSingleWorker(t *testing.T) {
+	// A single worker must run on the calling goroutine in index order.
+	var order []int
+	Do(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("worker id %d with one worker", w)
+		}
+		order = append(order, i) // safe: inline contract means no races
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v not sequential", order)
+		}
+	}
+}

@@ -3,9 +3,13 @@
 // holds a road network with its indexes; clients post query/data point
 // sets and get the optimal site with its flexible subset back as JSON.
 //
-// Engines are stateful, so the server serializes query execution with a
-// mutex; the heavy shared state (graph, hub labels, G-tree) is immutable
-// and built once at startup.
+// The request path is fully concurrent. Heavy shared state (graph, hub
+// labels, G-tree, CH upward graph) is immutable and built once at
+// startup; the stateful g_φ engines come from per-name core.EnginePool
+// free-lists, so each request checks out an exclusive engine instead of
+// serializing behind a process-wide lock. Engine registration freezes the
+// first time Handler is called, after which the pools map is never
+// written and is read without locking.
 package server
 
 import (
@@ -25,63 +29,116 @@ import (
 // always available; PHL and CH variants appear when the matching index is
 // supplied, and further engines (e.g., G-tree) register via AddEngine.
 type Options struct {
-	PHL core.Oracle // hub-label index (enables "PHL", "IER-PHL")
-	CH  core.Oracle // contraction-hierarchy querier (enables "CH", "IER-CH")
+	// PHL is a hub-label index (enables "PHL", "IER-PHL"). It must be
+	// safe for concurrent readers, as phl.Index is: the per-engine scratch
+	// lives in the pooled engines, not the oracle.
+	PHL core.Oracle
+	// NewCH supplies a fresh contraction-hierarchy querier per engine
+	// (enables "CH", "IER-CH"). Queriers carry per-goroutine search
+	// scratch, so the server needs a factory rather than a single shared
+	// instance; pass ch.Index.NewQuerier (wrapped to return core.Oracle).
+	NewCH func() core.Oracle
+	// PoolSize bounds each engine free-list — how many idle engines of
+	// one kind are retained between requests (0 = GOMAXPROCS). Peak
+	// concurrency is not limited; extra engines are built on demand and
+	// dropped on return.
+	PoolSize int
 }
 
 // Server answers FANN_R queries over HTTP.
 type Server struct {
-	g       *graph.Graph
-	mu      sync.Mutex
-	engines map[string]core.GPhi
-	started time.Time
+	g *graph.Graph
+	// mu guards pools during registration; once frozen (first Handler
+	// call) the map is immutable and the request path reads it lock-free.
+	mu     sync.Mutex
+	frozen bool
+	pools  map[string]*core.EnginePool
+	// dist pools the O(|V|) Dijkstra state for /dist requests.
+	dist     sync.Pool
+	poolSize int
+	started  time.Time
 }
 
 // New builds a server over g.
 func New(g *graph.Graph, opts Options) (*Server, error) {
 	s := &Server{
-		g:       g,
-		engines: map[string]core.GPhi{},
-		started: time.Now(),
+		g:        g,
+		pools:    map[string]*core.EnginePool{},
+		poolSize: opts.PoolSize,
+		started:  time.Now(),
 	}
-	s.engines["INE"] = core.NewINE(g)
-	s.engines["A*"] = core.NewOracleGPhi("A*", sp.NewAStar(g))
+	s.dist.New = func() any { return sp.NewDijkstra(g) }
+	reg := func(name string, factory core.EngineFactory) {
+		s.pools[name] = core.NewEnginePool(name, s.poolSize, factory)
+	}
+	reg("INE", func() core.GPhi { return core.NewINE(g) })
+	reg("A*", func() core.GPhi { return core.NewOracleGPhi("A*", sp.NewAStar(g)) })
 	if g.HasCoords() {
-		ier, err := core.NewIERGPhi("IER-A*", g, sp.NewAStar(g))
-		if err != nil {
+		if err := s.addIER("IER-A*", func() core.Oracle { return sp.NewAStar(g) }); err != nil {
 			return nil, err
 		}
-		s.engines["IER-A*"] = ier
 	}
 	if opts.PHL != nil {
-		s.engines["PHL"] = core.NewOracleGPhi("PHL", opts.PHL)
+		reg("PHL", func() core.GPhi { return core.NewOracleGPhi("PHL", opts.PHL) })
 		if g.HasCoords() {
-			ier, err := core.NewIERGPhi("IER-PHL", g, opts.PHL)
-			if err != nil {
+			if err := s.addIER("IER-PHL", func() core.Oracle { return opts.PHL }); err != nil {
 				return nil, err
 			}
-			s.engines["IER-PHL"] = ier
 		}
 	}
-	if opts.CH != nil {
-		s.engines["CH"] = core.NewOracleGPhi("CH", opts.CH)
+	if opts.NewCH != nil {
+		reg("CH", func() core.GPhi { return core.NewOracleGPhi("CH", opts.NewCH()) })
 		if g.HasCoords() {
-			ier, err := core.NewIERGPhi("IER-CH", g, opts.CH)
-			if err != nil {
+			if err := s.addIER("IER-CH", opts.NewCH); err != nil {
 				return nil, err
 			}
-			s.engines["IER-CH"] = ier
 		}
 	}
 	return s, nil
 }
 
-// AddEngine registers an additional named engine (e.g., a G-tree engine
-// built by the caller).
-func (s *Server) AddEngine(name string, gp core.GPhi) { s.engines[name] = gp }
+// addIER registers an IER engine pool after verifying construction works
+// (surfacing e.g. missing coordinates at startup instead of per request).
+func (s *Server) addIER(name string, oracle func() core.Oracle) error {
+	if _, err := core.NewIERGPhi(name, s.g, oracle()); err != nil {
+		return err
+	}
+	s.pools[name] = core.NewEnginePool(name, s.poolSize, func() core.GPhi {
+		gp, err := core.NewIERGPhi(name, s.g, oracle())
+		if err != nil {
+			panic(err) // verified above; cannot fail
+		}
+		return gp
+	})
+	return nil
+}
 
-// Handler returns the HTTP routes.
+// AddEngine registers an additional named engine (e.g., a G-tree engine
+// built by the caller). The factory is invoked once per pooled engine and
+// must be safe to call from any goroutine. Registration is rejected once
+// Handler has been called: the pools map must never be mutated while
+// requests are in flight.
+func (s *Server) AddEngine(name string, factory core.EngineFactory) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return fmt.Errorf("server: AddEngine(%q) after Handler — engine registration is frozen once serving starts", name)
+	}
+	if name == "" || factory == nil {
+		return errors.New("server: AddEngine needs a name and a factory")
+	}
+	if _, dup := s.pools[name]; dup {
+		return fmt.Errorf("server: engine %q already registered", name)
+	}
+	s.pools[name] = core.NewEnginePool(name, s.poolSize, factory)
+	return nil
+}
+
+// Handler returns the HTTP routes and freezes engine registration.
 func (s *Server) Handler() http.Handler {
+	s.mu.Lock()
+	s.frozen = true
+	s.mu.Unlock()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /health", s.handleHealth)
 	mux.HandleFunc("GET /meta", s.handleMeta)
@@ -108,9 +165,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
-	names := make([]string, 0, len(s.engines))
-	for name := range s.engines {
+	names := make([]string, 0, len(s.pools))
+	poolStats := make(map[string]map[string]int64, len(s.pools))
+	for name, p := range s.pools {
 		names = append(names, name)
+		created, reused, idle := p.Stats()
+		poolStats[name] = map[string]int64{
+			"created": created, "reused": reused, "idle": int64(idle),
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": s.g.Name(),
@@ -118,6 +180,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 		"edges":   s.g.NumEdges(),
 		"coords":  s.g.HasCoords(),
 		"engines": names,
+		"pools":   poolStats,
 	})
 }
 
@@ -172,16 +235,19 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	if engineName == "" {
 		engineName = "INE"
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	gp, ok := s.engines[engineName]
+	pool, ok := s.pools[engineName]
 	if !ok {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q (see /meta)", engineName))
 		return
 	}
 
 	start := time.Now()
-	answers, err := s.dispatch(req.Algo, gp, q, req.K)
+	var answers []core.Answer
+	err := pool.With(func(gp core.GPhi) error {
+		var err error
+		answers, err = s.dispatch(req.Algo, gp, q, req.K)
+		return err
+	})
 	elapsed := time.Since(start)
 	switch {
 	case errors.Is(err, core.ErrNoResult):
@@ -257,8 +323,8 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("node ids outside [0,%d)", n))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d := sp.NewDijkstra(s.g).Dist(req.U, req.V)
-	writeJSON(w, http.StatusOK, map[string]float64{"dist": d})
+	d := s.dist.Get().(*sp.Dijkstra)
+	dist := d.Dist(req.U, req.V)
+	s.dist.Put(d)
+	writeJSON(w, http.StatusOK, map[string]float64{"dist": dist})
 }

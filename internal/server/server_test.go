@@ -34,7 +34,9 @@ func testServer(t *testing.T) (*httptest.Server, *graph.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.AddEngine("GTree", core.NewGTreeGPhi(tr))
+	if err := srv.AddEngine("GTree", func() core.GPhi { return core.NewGTreeGPhi(tr) }); err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, g
@@ -195,31 +197,103 @@ func TestDistEndpoint(t *testing.T) {
 	}
 }
 
-// Concurrent requests must serialize safely over the shared engines.
+// Concurrent requests run in parallel over pooled engines; answers must
+// stay identical to the single-request result on every engine, and /dist
+// must be concurrent too. Run under -race to certify the lock-free path.
 func TestConcurrentRequests(t *testing.T) {
-	ts, _ := testServer(t)
-	var wg sync.WaitGroup
+	ts, g := testServer(t)
 	req := FANNRequest{
 		P:   []graph.NodeID{10, 50, 100, 200},
 		Q:   []graph.NodeID{5, 25, 125},
-		Phi: 0.5, Algo: "rlist", Engine: "PHL",
+		Phi: 0.5, Algo: "rlist",
 	}
-	results := make([]float64, 8)
-	for i := 0; i < 8; i++ {
+	engines := []string{"PHL", "INE", "GTree", "IER-PHL"}
+	// Sequential reference per engine.
+	want := map[string]float64{}
+	for _, e := range engines {
+		r := req
+		r.Engine = e
+		if e == "IER-PHL" {
+			r.Algo = "ier"
+		}
+		status, resp := post[FANNResponse](t, ts.URL+"/fann", r)
+		if status != http.StatusOK || len(resp.Answers) != 1 {
+			t.Fatalf("engine %s: status %d", e, status)
+		}
+		want[e] = resp.Answers[0].Dist
+	}
+	wantDist := sp.NewDijkstra(g).Dist(3, 400)
+
+	var wg sync.WaitGroup
+	const perEngine = 6
+	for _, e := range engines {
+		for i := 0; i < perEngine; i++ {
+			wg.Add(1)
+			go func(e string) {
+				defer wg.Done()
+				r := req
+				r.Engine = e
+				if e == "IER-PHL" {
+					r.Algo = "ier"
+				}
+				status, resp := post[FANNResponse](t, ts.URL+"/fann", r)
+				if status != http.StatusOK || len(resp.Answers) != 1 {
+					t.Errorf("engine %s: status %d", e, status)
+					return
+				}
+				if got := resp.Answers[0].Dist; got != want[e] {
+					t.Errorf("engine %s: concurrent dist %v, sequential %v", e, got, want[e])
+				}
+			}(e)
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			status, resp := post[FANNResponse](t, ts.URL+"/fann", req)
-			if status == http.StatusOK && len(resp.Answers) == 1 {
-				results[i] = resp.Answers[0].Dist
+			status, resp := post[map[string]float64](t, ts.URL+"/dist", DistRequest{U: 3, V: 400})
+			if status != http.StatusOK || math.Abs(resp["dist"]-wantDist) > 1e-9 {
+				t.Errorf("concurrent /dist: status %d dist %v, want %v", status, resp["dist"], wantDist)
 			}
-		}(i)
+		}()
 	}
 	wg.Wait()
-	for i := 1; i < len(results); i++ {
-		if results[i] != results[0] {
-			t.Fatalf("request %d got %v, request 0 got %v", i, results[i], results[0])
-		}
+}
+
+// Engine registration must freeze once Handler has been called, so the
+// pools map is never mutated while requests are in flight.
+func TestAddEngineFrozenAfterHandler(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 100, Seed: 3, Name: "frz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ine := func() core.GPhi { return core.NewINE(g) }
+	if err := srv.AddEngine("INE2", ine); err != nil {
+		t.Fatalf("pre-freeze AddEngine: %v", err)
+	}
+	if err := srv.AddEngine("INE2", ine); err == nil {
+		t.Fatal("duplicate engine name accepted")
+	}
+	if err := srv.AddEngine("", ine); err == nil {
+		t.Fatal("empty engine name accepted")
+	}
+	if err := srv.AddEngine("nilfactory", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	_ = srv.Handler()
+	if err := srv.AddEngine("late", ine); err == nil {
+		t.Fatal("AddEngine after Handler accepted")
+	}
+	// The engine registered before the freeze still serves.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, resp := post[FANNResponse](t, ts.URL+"/fann", FANNRequest{
+		P: []graph.NodeID{1, 2}, Q: []graph.NodeID{3, 4}, Phi: 1, Engine: "INE2",
+	})
+	if status != http.StatusOK || len(resp.Answers) != 1 {
+		t.Fatalf("frozen engine INE2: status %d", status)
 	}
 }
 
