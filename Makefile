@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full bench-server bench-build
+.PHONY: verify build test vet race race-full fuzz-smoke bench-server bench-build
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -18,15 +18,26 @@ vet:
 	$(GO) vet ./...
 
 ## Tier 3 — race detector over the concurrency-bearing packages
-## (engine pools, HTTP server, parallel index builds). Heavy cases are
-## trimmed via -short; drop it for the full hammer.
+## (engine pools, HTTP server, parallel index builds, workload draws) plus
+## the cross-engine differential harness. Heavy cases are trimmed via
+## -short; drop it for the full hammer.
 race:
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
-		./internal/gtree/... ./internal/ch/... ./internal/par/...
+		./internal/gtree/... ./internal/ch/... ./internal/par/... \
+		./internal/workload/... ./internal/difftest/...
 
 ## Race detector over everything, full-size tests (slow).
 race-full:
 	$(GO) test -race ./...
+
+## Short burst of native fuzzing over the HTTP JSON surface and the
+## differential case generator (go test -fuzz takes one target at a time,
+## hence the loop). Seeds-only regression replay already runs in `test`.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run - -fuzz FuzzFANNEndpoint -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run - -fuzz FuzzDistEndpoint -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run - -fuzz FuzzDifferentialCase -fuzztime $(FUZZTIME) ./internal/difftest/
 
 verify: build test vet race
 

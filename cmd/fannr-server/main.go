@@ -1,6 +1,7 @@
 // Command fannr-server serves FANN_R queries over HTTP.
 //
-//	fannr-server -dataset NW -scale 0.015625 -addr :8080 -engines PHL,GTree
+//	fannr-server -dataset NW -scale 0.015625 -addr :8080 -engines PHL,GTree \
+//	    -query-timeout 5s
 //
 // Endpoints:
 //
@@ -9,14 +10,26 @@
 //	POST /fann    {"p":[...],"q":[...],"phi":0.5,"agg":"max","algo":"ier",
 //	               "engine":"IER-PHL","k":1}
 //	POST /dist    {"u":1,"v":2}
+//
+// Request lifecycle: every /fann query is bounded by -query-timeout and
+// by its client — a disconnect or deadline aborts the search promptly and
+// answers 504 (code "timeout"). Errors carry a stable JSON shape
+// {"error":..., "code":...}; see internal/server for the taxonomy. On
+// SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain-timeout before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"fannr"
 	"fannr/internal/core"
@@ -25,27 +38,29 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "NW", "Table III dataset name (synthetic)")
-		scale   = flag.Float64("scale", 1.0/64, "dataset scale")
-		addr    = flag.String("addr", ":8080", "listen address")
-		engines = flag.String("engines", "PHL", "indexes to build at startup: comma-separated from PHL,GTree,CH")
-		workers = flag.Int("workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
+		dataset      = flag.String("dataset", "NW", "Table III dataset name (synthetic)")
+		scale        = flag.Float64("scale", 1.0/64, "dataset scale")
+		addr         = flag.String("addr", ":8080", "listen address")
+		engines      = flag.String("engines", "PHL", "indexes to build at startup: comma-separated from PHL,GTree,CH")
+		workers      = flag.Int("workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request compute budget for /fann (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget after SIGINT/SIGTERM")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *addr, *engines, *workers); err != nil {
+	if err := run(*dataset, *scale, *addr, *engines, *workers, *queryTimeout, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, addr, engines string, workers int) error {
+func run(dataset string, scale float64, addr, engines string, workers int, queryTimeout, drainTimeout time.Duration) error {
 	g, err := fannr.LoadDataset(dataset, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
 
-	opts := server.Options{}
+	opts := server.Options{QueryTimeout: queryTimeout}
 	var gtreeIndex *fannr.GTree
 	for _, name := range strings.Split(engines, ",") {
 		switch strings.TrimSpace(name) {
@@ -87,6 +102,33 @@ func run(dataset string, scale float64, addr, engines string, workers int) error
 			return err
 		}
 	}
-	fmt.Printf("listening on %s\n", addr)
-	return http.ListenAndServe(addr, srv.Handler())
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s (query timeout %v)\n", addr, queryTimeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Printf("shutting down: draining in-flight requests (up to %v)\n", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("bye")
+	return nil
 }

@@ -129,8 +129,19 @@ const (
 	Sum = core.Sum
 )
 
-// ErrNoResult is returned when no data point reaches ⌈φ|Q|⌉ query points.
-var ErrNoResult = core.ErrNoResult
+// Error sentinels. Every algorithm failure wraps one of these, so callers
+// classify with errors.Is instead of string matching.
+var (
+	// ErrNoResult is returned when no data point reaches ⌈φ|Q|⌉ query
+	// points.
+	ErrNoResult = core.ErrNoResult
+	// ErrCanceled is returned when a query's Cancel hook (usually bound to
+	// a context via Query.BindContext) fires mid-search.
+	ErrCanceled = core.ErrCanceled
+	// ErrInvalid wraps every query-validation failure (empty sets, φ out
+	// of (0,1], node ids out of range, wrong aggregate for an algorithm).
+	ErrInvalid = core.ErrInvalid
+)
 
 // FANN_R algorithms (see package core for the paper mapping).
 var (
@@ -301,6 +312,10 @@ type (
 	FANNRequest = server.FANNRequest
 	// FANNResponse is the /fann response body.
 	FANNResponse = server.FANNResponse
+	// ServerError is the stable JSON error shape every non-2xx response
+	// carries: a human-readable message plus a machine-readable code
+	// ("invalid", "not_found", "too_large", "timeout", "internal").
+	ServerError = server.ErrorResponse
 )
 
 // NewQueryServer builds an HTTP query server over g.

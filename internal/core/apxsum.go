@@ -18,7 +18,7 @@ func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		return Answer{}, err
 	}
 	if q.Agg != Sum {
-		return Answer{}, fmt.Errorf("fannr: APXSum requires the sum aggregate, got %v", q.Agg)
+		return Answer{}, fmt.Errorf("%w: APXSum requires the sum aggregate, got %v", ErrInvalid, q.Agg)
 	}
 	pSet := graph.NewNodeSet(g.NumNodes())
 	pSet.AddAll(q.P)

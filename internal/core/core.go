@@ -24,9 +24,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"fannr/internal/graph"
 )
@@ -69,6 +71,34 @@ func (q *Query) canceled() bool { return q.Cancel != nil && q.Cancel() }
 // ErrCanceled is returned when a query's Cancel hook reports true.
 var ErrCanceled = errors.New("fannr: query canceled")
 
+// ErrInvalid is wrapped by every error that reports a malformed query
+// (empty sets, φ outside (0,1], out-of-range node ids, aggregate/algorithm
+// mismatches, k < 1). Callers can classify failures with
+// errors.Is(err, ErrInvalid) — e.g., the HTTP server maps ErrInvalid to
+// 400 and everything unexpected to 500.
+var ErrInvalid = errors.New("fannr: invalid query")
+
+// BindContext wires the query's Cancel hook to ctx: once ctx is done
+// (deadline, explicit cancel, or a disconnecting HTTP client) every
+// algorithm polling this query aborts with ErrCanceled at its next loop
+// boundary. The poll is a single atomic load — algorithms poll once per
+// candidate, so a channel select here would be measurable. The returned
+// stop function releases the context watcher and must be called when the
+// query finishes (defer it).
+func (q *Query) BindContext(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		q.Cancel = nil
+		return func() {}
+	}
+	var done atomic.Bool
+	if ctx.Err() != nil {
+		done.Store(true)
+	}
+	stopWatch := context.AfterFunc(ctx, func() { done.Store(true) })
+	q.Cancel = done.Load
+	return func() { stopWatch() }
+}
+
 // K returns ⌈φ|Q|⌉ clamped to [1, |Q|] — the size of the flexible subset.
 func (q *Query) K() int {
 	k := int(math.Ceil(q.Phi * float64(len(q.Q))))
@@ -81,29 +111,62 @@ func (q *Query) K() int {
 	return k
 }
 
-// Validate checks the query against a graph.
+// Validate checks the query against a graph and canonicalizes it:
+// duplicate entries in P and Q are removed (first occurrence wins, order
+// otherwise preserved). Dedup is part of the query semantics, not a
+// convenience — duplicates in Q inflate k = ⌈φ|Q|⌉, and engines disagree
+// on what a duplicated query point means (set-based engines like INE and
+// GTree see one target where oracle engines see two distances), so the
+// same request could silently return different answers depending on the
+// engine. Every algorithm validates before computing k, so all of them
+// see the canonical multiplicity-free sets. The caller's slices are never
+// mutated; dedup replaces q.P/q.Q with fresh copies.
 func (q *Query) Validate(g *graph.Graph) error {
 	if len(q.P) == 0 {
-		return errors.New("fannr: empty data set P")
+		return fmt.Errorf("%w: empty data set P", ErrInvalid)
 	}
 	if len(q.Q) == 0 {
-		return errors.New("fannr: empty query set Q")
+		return fmt.Errorf("%w: empty query set Q", ErrInvalid)
 	}
 	if !(q.Phi > 0 && q.Phi <= 1) {
-		return fmt.Errorf("fannr: flexibility φ = %v outside (0,1]", q.Phi)
+		return fmt.Errorf("%w: flexibility φ = %v outside (0,1]", ErrInvalid, q.Phi)
 	}
 	n := graph.NodeID(g.NumNodes())
 	for _, p := range q.P {
 		if p < 0 || p >= n {
-			return fmt.Errorf("fannr: data point %d outside graph", p)
+			return fmt.Errorf("%w: data point %d outside graph", ErrInvalid, p)
 		}
 	}
 	for _, v := range q.Q {
 		if v < 0 || v >= n {
-			return fmt.Errorf("fannr: query point %d outside graph", v)
+			return fmt.Errorf("%w: query point %d outside graph", ErrInvalid, v)
 		}
 	}
+	q.P = dedupeNodes(q.P)
+	q.Q = dedupeNodes(q.Q)
 	return nil
+}
+
+// dedupeNodes returns ids with duplicates removed, keeping the first
+// occurrence of each id in order. The input is returned as-is when it is
+// already duplicate-free (the common case — no allocation).
+func dedupeNodes(ids []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(ids))
+	for i, v := range ids {
+		if _, dup := seen[v]; dup {
+			out := make([]graph.NodeID, i, len(ids))
+			copy(out, ids[:i])
+			for _, w := range ids[i:] {
+				if _, dup := seen[w]; !dup {
+					seen[w] = struct{}{}
+					out = append(out, w)
+				}
+			}
+			return out
+		}
+		seen[v] = struct{}{}
+	}
+	return ids
 }
 
 // Answer is the result triple (p*, Q*_φ, d*) of Definition 2.

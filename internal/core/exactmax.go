@@ -21,7 +21,7 @@ func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		return Answer{}, err
 	}
 	if q.Agg != Max {
-		return Answer{}, fmt.Errorf("fannr: ExactMax requires the max aggregate, got %v", q.Agg)
+		return Answer{}, fmt.Errorf("%w: ExactMax requires the max aggregate, got %v", ErrInvalid, q.Agg)
 	}
 	k := q.K()
 	pool := newExpanderPool(g, q)

@@ -18,9 +18,12 @@ type IEROptions struct {
 }
 
 // BuildPTree indexes the data points of a query in an R-tree so repeated
-// IERKNN calls over the same P can share it. The graph must carry
-// coordinates.
+// IERKNN calls over the same P can share it. P is deduplicated first,
+// matching Query.Validate's canonicalization — a duplicated entry would
+// otherwise surface twice in best-first order and could occupy two ranks
+// of a top-k answer. The graph must carry coordinates.
 func BuildPTree(g *graph.Graph, P []graph.NodeID) *rtree.Tree {
+	P = dedupeNodes(P)
 	pts := make([]rtree.Point, len(P))
 	for i, p := range P {
 		x, y := g.Coord(p)

@@ -20,11 +20,11 @@ import (
 // which is why the paper stopped at k = 1. Results may contain fewer than
 // kAns entries when the pool is smaller.
 func KAPXSum(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
-	if err := validateK(g, q, kAns); err != nil {
+	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
 	if q.Agg != Sum {
-		return nil, fmt.Errorf("fannr: KAPXSum requires the sum aggregate, got %v", q.Agg)
+		return nil, fmt.Errorf("%w: KAPXSum requires the sum aggregate, got %v", ErrInvalid, q.Agg)
 	}
 	pSet := graph.NewNodeSet(g.NumNodes())
 	pSet.AddAll(q.P)

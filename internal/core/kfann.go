@@ -55,9 +55,14 @@ func (t *topK) answers(gp GPhi, kSub int) []Answer {
 	return out
 }
 
-func validateK(g *graph.Graph, q Query, kAns int) error {
+// validateK takes the query by pointer: Validate canonicalizes q.P/q.Q
+// (dedup), and that canonicalization must be visible to the caller — a
+// by-value q here once silently dropped the dedup, so k-FANN algorithms
+// computed k = ⌈φ|Q|⌉ over duplicate-inflated Q and disagreed with the
+// single-answer path (caught by the differential harness).
+func validateK(g *graph.Graph, q *Query, kAns int) error {
 	if kAns < 1 {
-		return fmt.Errorf("fannr: k-FANN_R needs k >= 1, got %d", kAns)
+		return fmt.Errorf("%w: k-FANN_R needs k >= 1, got %d", ErrInvalid, kAns)
 	}
 	return q.Validate(g)
 }
@@ -65,7 +70,7 @@ func validateK(g *graph.Graph, q Query, kAns int) error {
 // KGD answers a k-FANN_R query by enumerating P and keeping the kAns best
 // (§V: "update the queue when enumerating the P").
 func KGD(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
-	if err := validateK(g, q, kAns); err != nil {
+	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
 	k := q.K()
@@ -88,7 +93,7 @@ func KGD(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 // KRList answers a k-FANN_R query with the R-List adaptation: terminate
 // when the threshold τ reaches the kAns-th smallest incumbent distance.
 func KRList(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
-	if err := validateK(g, q, kAns); err != nil {
+	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
 	k := q.K()
@@ -126,14 +131,21 @@ func KRList(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 // best-first scan terminates when the head bound reaches the kAns-th
 // smallest incumbent distance.
 func KIERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, kAns int, opts IEROptions) ([]Answer, error) {
-	if err := validateK(g, q, kAns); err != nil {
+	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
 	k := q.K()
 	gp.Reset(q.Q)
 	s := newIERSearch(g, rtP, q, opts)
 	top := newTopK(kAns)
+	// Guard against the same data point surfacing twice (an rtP built over
+	// a duplicate-containing P): one point must never hold two ranks.
+	seen := make(map[graph.NodeID]struct{}, 2*kAns)
 	if err := s.run(top.kth, func(p graph.NodeID) {
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
 		if d, ok := gp.Dist(p, k, q.Agg); ok {
 			top.offer(p, d)
 		}
@@ -150,11 +162,11 @@ func KIERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, kAns int, opts I
 // expansion continues until kAns distinct counters reach ⌈φ|Q|⌉; the
 // saturation order is exactly ascending flexible max distance.
 func KExactMax(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
-	if err := validateK(g, q, kAns); err != nil {
+	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
 	if q.Agg != Max {
-		return nil, fmt.Errorf("fannr: KExactMax requires the max aggregate, got %v", q.Agg)
+		return nil, fmt.Errorf("%w: KExactMax requires the max aggregate, got %v", ErrInvalid, q.Agg)
 	}
 	k := q.K()
 	pool := newExpanderPool(g, q)

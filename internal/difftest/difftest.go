@@ -1,0 +1,380 @@
+// Package difftest is the cross-engine differential harness: seeded
+// random road networks and random queries are run through every
+// registered g_φ engine × algorithm × aggregate × φ combination and the
+// answers are compared against the independent brute-force reference.
+// Hand-written unit tests pin behaviors someone thought of; the harness
+// exists to flush out the ones nobody did — the M-tree k-FANN paper
+// (arXiv:2106.05620) validates exactness the same way, by exhaustive
+// cross-checking against brute force.
+//
+// Beyond answer equality the harness asserts metamorphic invariants that
+// hold for every FANN_R instance:
+//
+//   - d*(φ) is nondecreasing in φ (growing the mandatory subset can only
+//     hurt the optimum),
+//   - d*_max ≤ d*_sum at equal φ (max of k distances ≤ their sum),
+//   - k-FANN_R answer lists are sorted by distance and prefix-consistent
+//     (the k'-answer distances are a prefix of the k-answer distances for
+//     k' < k).
+//
+// Everything is deterministic per seed, so a disagreement reported in CI
+// reproduces locally from the case's seed alone.
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fannr/internal/ch"
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+	"fannr/internal/phl"
+	"fannr/internal/sp"
+)
+
+// Env is one road network with the full engine suite built over it.
+type Env struct {
+	G       *graph.Graph
+	Engines []core.GPhi
+}
+
+// NewEnv generates a connected random road network of roughly the given
+// node count and builds every engine of the paper's Table I (plus the CH
+// and ALT extensions) over it.
+func NewEnv(nodes int, seed int64) (*Env, error) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: nodes, Seed: seed, Name: fmt.Sprintf("diff-%d", seed)})
+	if err != nil {
+		return nil, err
+	}
+	labels, err := phl.Build(g, phl.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := gtree.Build(g, gtree.Options{MaxLeafSize: 64})
+	if err != nil {
+		return nil, err
+	}
+	chIx, err := ch.Build(g, ch.Options{})
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{G: g}
+	env.Engines = append(env.Engines,
+		core.NewINE(g),
+		core.NewOracleGPhi("A*", sp.NewAStar(g)),
+		core.NewOracleGPhi("PHL", labels),
+		core.NewOracleGPhi("GTree-SPSP", tr.NewQuerier()),
+		core.NewOracleGPhi("CH", chIx.NewQuerier()),
+		core.NewGTreeGPhi(tr),
+	)
+	for _, spec := range []struct {
+		name string
+		o    core.Oracle
+	}{
+		{"IER-A*", sp.NewAStar(g)},
+		{"IER-PHL", labels},
+		{"IER-CH", chIx.NewQuerier()},
+	} {
+		e, err := core.NewIERGPhi(spec.name, g, spec.o)
+		if err != nil {
+			return nil, err
+		}
+		env.Engines = append(env.Engines, e)
+	}
+	return env, nil
+}
+
+// Case is one differential test case: a full FANN_R instance plus the
+// top-k answer count. Seed identifies the case for reproduction.
+type Case struct {
+	Seed int64
+	P    []graph.NodeID
+	Q    []graph.NodeID
+	Phi  float64
+	Agg  core.Aggregate
+	KAns int
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("case{seed=%d |P|=%d |Q|=%d φ=%.2f agg=%s k=%d}",
+		c.Seed, len(c.P), len(c.Q), c.Phi, c.Agg, c.KAns)
+}
+
+// phiGrid are the flexibility values cases draw from — the paper's §VI
+// sweep values plus the φ→0 clamp edge.
+var phiGrid = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+
+// GenCase derives a random case from a seed. Roughly a quarter of cases
+// deliberately contain duplicate entries in P and/or Q — duplicates must
+// not change any answer (core.Query.Validate canonicalizes them), and the
+// harness is exactly the place that catches an engine disagreeing on
+// multiplicity semantics.
+func GenCase(seed int64, g *graph.Graph) Case {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	pick := func(count int) []graph.NodeID {
+		seen := map[graph.NodeID]bool{}
+		out := make([]graph.NodeID, 0, count)
+		for len(out) < count {
+			v := graph.NodeID(rng.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	c := Case{
+		Seed: seed,
+		P:    pick(4 + rng.Intn(16)),
+		Q:    pick(2 + rng.Intn(10)),
+		Phi:  phiGrid[rng.Intn(len(phiGrid))],
+		Agg:  core.Aggregate(rng.Intn(2)),
+		KAns: 1 + rng.Intn(3),
+	}
+	if rng.Intn(4) == 0 { // inject duplicates
+		c.Q = append(c.Q, c.Q[rng.Intn(len(c.Q))])
+		if rng.Intn(2) == 0 {
+			c.P = append(c.P, c.P[rng.Intn(len(c.P))])
+		}
+	}
+	return c
+}
+
+// query materializes the core query of a case.
+func (c Case) query() core.Query {
+	return core.Query{P: c.P, Q: c.Q, Phi: c.Phi, Agg: c.Agg}
+}
+
+const tol = 1e-6
+
+func closeTo(a, b float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// RunCase runs one case through every engine × applicable algorithm and
+// compares against the brute-force reference; it returns an error
+// describing the first disagreement. A nil error means every combination
+// agreed and every metamorphic invariant held.
+func (env *Env) RunCase(c Case) error {
+	q := c.query()
+	want, bruteErr := core.Brute(env.G, q)
+	noResult := errors.Is(bruteErr, core.ErrNoResult)
+	if bruteErr != nil && !noResult {
+		return fmt.Errorf("%v: brute: %w", c, bruteErr)
+	}
+
+	check := func(label string, ans core.Answer, err error) error {
+		if noResult {
+			if !errors.Is(err, core.ErrNoResult) {
+				return fmt.Errorf("%v: %s: err = %v, brute says ErrNoResult", c, label, err)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%v: %s: %w", c, label, err)
+		}
+		if !closeTo(ans.Dist, want.Dist) {
+			return fmt.Errorf("%v: %s: d* = %v, brute %v (p=%d vs %d)",
+				c, label, ans.Dist, want.Dist, ans.P, want.P)
+		}
+		if err := core.Verify(env.G, q, ans); err != nil {
+			return fmt.Errorf("%v: %s: answer fails Verify: %w", c, label, err)
+		}
+		return nil
+	}
+
+	for _, gp := range env.Engines {
+		name := gp.Name()
+		ans, err := core.GD(env.G, gp, q)
+		if err := check("GD/"+name, ans, err); err != nil {
+			return err
+		}
+		ans, err = core.RList(env.G, gp, q)
+		if err := check("RList/"+name, ans, err); err != nil {
+			return err
+		}
+		if env.G.HasCoords() {
+			rtP := core.BuildPTree(env.G, q.P)
+			ans, err = core.IERKNN(env.G, rtP, gp, q, core.IEROptions{})
+			if err := check("IER/"+name, ans, err); err != nil {
+				return err
+			}
+			ans, err = core.IERKNN(env.G, rtP, gp, q, core.IEROptions{CheapBound: true})
+			if err := check("IER-cheap/"+name, ans, err); err != nil {
+				return err
+			}
+		}
+		if q.Agg == core.Max {
+			ans, err = core.ExactMax(env.G, gp, q)
+			if err := check("ExactMax/"+name, ans, err); err != nil {
+				return err
+			}
+		} else {
+			// APX-sum is approximate: assert the Theorem 1/2 ratio bound
+			// instead of equality.
+			ans, err = core.APXSum(env.G, gp, q)
+			if noResult {
+				// APX-sum's candidate reduction can also legitimately fail.
+				if err != nil && !errors.Is(err, core.ErrNoResult) {
+					return fmt.Errorf("%v: APXSum/%s: %w", c, name, err)
+				}
+			} else if err != nil {
+				return fmt.Errorf("%v: APXSum/%s: %w", c, name, err)
+			} else {
+				bound := core.APXSumRatioBound(q)
+				if ans.Dist < want.Dist-tol || ans.Dist > bound*want.Dist+tol {
+					return fmt.Errorf("%v: APXSum/%s: d = %v outside [d*, %v·d*], d* = %v",
+						c, name, ans.Dist, bound, want.Dist)
+				}
+			}
+		}
+	}
+	if err := env.runTopK(c, q); err != nil {
+		return err
+	}
+	return env.checkMetamorphic(c, q)
+}
+
+// runTopK cross-checks the k-FANN_R adaptations against KBrute and the
+// ordering/prefix invariants. Engines rotate per case seed to bound cost;
+// across hundreds of cases every engine sees every algorithm.
+func (env *Env) runTopK(c Case, q core.Query) error {
+	kb, err := core.KBrute(env.G, q, c.KAns)
+	if errors.Is(err, core.ErrNoResult) {
+		return nil // single-answer path already cross-checked this
+	}
+	if err != nil {
+		return fmt.Errorf("%v: KBrute: %w", c, err)
+	}
+	idx := int(c.Seed) % len(env.Engines)
+	if idx < 0 {
+		idx += len(env.Engines)
+	}
+	gp := env.Engines[idx]
+	name := gp.Name()
+
+	checkList := func(label string, got []core.Answer, err error) error {
+		if err != nil {
+			return fmt.Errorf("%v: %s: %w", c, label, err)
+		}
+		if len(got) != len(kb) {
+			return fmt.Errorf("%v: %s: %d answers, brute %d", c, label, len(got), len(kb))
+		}
+		for i := range got {
+			if i > 0 && got[i].Dist < got[i-1].Dist-tol {
+				return fmt.Errorf("%v: %s: answers not sorted at rank %d", c, label, i)
+			}
+			if !closeTo(got[i].Dist, kb[i].Dist) {
+				return fmt.Errorf("%v: %s: rank %d dist %v, brute %v", c, label, i, got[i].Dist, kb[i].Dist)
+			}
+		}
+		return nil
+	}
+
+	got, err := core.KGD(env.G, gp, q, c.KAns)
+	if err := checkList("KGD/"+name, got, err); err != nil {
+		return err
+	}
+	// Prefix consistency: asking for one fewer answer returns the same
+	// distances minus the tail.
+	if c.KAns > 1 {
+		shorter, err := core.KGD(env.G, gp, q, c.KAns-1)
+		if err != nil {
+			return fmt.Errorf("%v: KGD/%s (k-1): %w", c, name, err)
+		}
+		if len(shorter) != len(got)-1 {
+			return fmt.Errorf("%v: KGD/%s: k-1 returned %d answers, want %d", c, name, len(shorter), len(got)-1)
+		}
+		for i := range shorter {
+			if !closeTo(shorter[i].Dist, got[i].Dist) {
+				return fmt.Errorf("%v: KGD/%s: prefix broken at rank %d: %v vs %v",
+					c, name, i, shorter[i].Dist, got[i].Dist)
+			}
+		}
+	}
+	got, err = core.KRList(env.G, gp, q, c.KAns)
+	if err := checkList("KRList/"+name, got, err); err != nil {
+		return err
+	}
+	if env.G.HasCoords() {
+		got, err = core.KIERKNN(env.G, core.BuildPTree(env.G, q.P), gp, q, c.KAns, core.IEROptions{})
+		if err := checkList("KIER/"+name, got, err); err != nil {
+			return err
+		}
+	}
+	if q.Agg == core.Max {
+		got, err = core.KExactMax(env.G, gp, q, c.KAns)
+		if err := checkList("KExactMax/"+name, got, err); err != nil {
+			return err
+		}
+	} else {
+		// KAPXSum: rank-1 keeps the 3-approximation bound; deeper ranks
+		// are heuristic but must stay sorted.
+		got, err = core.KAPXSum(env.G, gp, q, c.KAns)
+		if err != nil && !errors.Is(err, core.ErrNoResult) {
+			return fmt.Errorf("%v: KAPXSum/%s: %w", c, name, err)
+		}
+		if err == nil && len(got) > 0 {
+			bound := core.APXSumRatioBound(q)
+			if got[0].Dist < kb[0].Dist-tol || got[0].Dist > bound*kb[0].Dist+tol {
+				return fmt.Errorf("%v: KAPXSum/%s: rank-1 %v outside [d*, %v·d*], d* = %v",
+					c, name, got[0].Dist, bound, kb[0].Dist)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i].Dist < got[i-1].Dist-tol {
+					return fmt.Errorf("%v: KAPXSum/%s: answers not sorted at rank %d", c, name, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkMetamorphic asserts the cross-query invariants on the brute-force
+// reference: φ-monotonicity of d* and max ≤ sum at equal φ.
+func (env *Env) checkMetamorphic(c Case, q core.Query) error {
+	// max ≤ sum: for every p the max of its k nearest ≤ their sum, so the
+	// optima order the same way.
+	qMax, qSum := q, q
+	qMax.Agg, qSum.Agg = core.Max, core.Sum
+	dMax, errMax := core.Brute(env.G, qMax)
+	dSum, errSum := core.Brute(env.G, qSum)
+	if (errMax == nil) != (errSum == nil) {
+		return fmt.Errorf("%v: max/sum reachability disagree: %v vs %v", c, errMax, errSum)
+	}
+	if errMax == nil && dMax.Dist > dSum.Dist+tol*(1+dSum.Dist) {
+		return fmt.Errorf("%v: d*_max = %v > d*_sum = %v", c, dMax.Dist, dSum.Dist)
+	}
+	// φ-monotonicity: larger mandatory subsets cannot improve the optimum.
+	prev := -1.0
+	for _, phi := range phiGrid {
+		qq := q
+		qq.Phi = phi
+		ans, err := core.Brute(env.G, qq)
+		if errors.Is(err, core.ErrNoResult) {
+			// Once some φ is unreachable every larger φ must be too.
+			for _, phi2 := range phiGrid {
+				if phi2 < phi {
+					continue
+				}
+				qq.Phi = phi2
+				if _, err2 := core.Brute(env.G, qq); !errors.Is(err2, core.ErrNoResult) {
+					return fmt.Errorf("%v: unreachable at φ=%v but reachable at φ=%v", c, phi, phi2)
+				}
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%v: brute at φ=%v: %w", c, phi, err)
+		}
+		if ans.Dist < prev-tol*(1+prev) {
+			return fmt.Errorf("%v: d* decreased from %v to %v as φ grew to %v", c, prev, ans.Dist, phi)
+		}
+		prev = ans.Dist
+	}
+	return nil
+}

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +44,12 @@ type Options struct {
 	// concurrency is not limited; extra engines are built on demand and
 	// dropped on return.
 	PoolSize int
+	// QueryTimeout bounds how long one /fann request may compute (0 = no
+	// limit). Each request derives a deadline context that the query's
+	// Cancel hook polls, so a slow search aborts with 504 instead of
+	// pinning an engine; client disconnects abort the same way regardless
+	// of the timeout.
+	QueryTimeout time.Duration
 }
 
 // Server answers FANN_R queries over HTTP.
@@ -54,18 +61,20 @@ type Server struct {
 	frozen bool
 	pools  map[string]*core.EnginePool
 	// dist pools the O(|V|) Dijkstra state for /dist requests.
-	dist     sync.Pool
-	poolSize int
-	started  time.Time
+	dist         sync.Pool
+	poolSize     int
+	queryTimeout time.Duration
+	started      time.Time
 }
 
 // New builds a server over g.
 func New(g *graph.Graph, opts Options) (*Server, error) {
 	s := &Server{
-		g:        g,
-		pools:    map[string]*core.EnginePool{},
-		poolSize: opts.PoolSize,
-		started:  time.Now(),
+		g:            g,
+		pools:        map[string]*core.EnginePool{},
+		poolSize:     opts.PoolSize,
+		queryTimeout: opts.QueryTimeout,
+		started:      time.Now(),
 	}
 	s.dist.New = func() any { return sp.NewDijkstra(g) }
 	reg := func(name string, factory core.EngineFactory) {
@@ -134,7 +143,11 @@ func (s *Server) AddEngine(name string, factory core.EngineFactory) error {
 	return nil
 }
 
-// Handler returns the HTTP routes and freezes engine registration.
+// Handler returns the HTTP routes and freezes engine registration. Every
+// route runs behind panic recovery: a panicking handler answers 500 with
+// the standard error shape instead of tearing the connection down (the
+// engine a /fann handler had checked out is dropped, never returned to
+// its pool — see handleFANN).
 func (s *Server) Handler() http.Handler {
 	s.mu.Lock()
 	s.frozen = true
@@ -144,7 +157,59 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /meta", s.handleMeta)
 	mux.HandleFunc("POST /fann", s.handleFANN)
 	mux.HandleFunc("POST /dist", s.handleDist)
-	return mux
+	return recoverPanics(mux)
+}
+
+// recoverPanics converts handler panics into 500 responses. It rethrows
+// http.ErrAbortHandler (the net/http idiom for deliberately dropping a
+// connection) so streaming aborts keep working.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			fail(w, fmt.Errorf("internal error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ErrorResponse is the stable JSON error shape every non-2xx response
+// carries. Code is machine-readable and maps 1:1 to the HTTP status:
+// "invalid" (400), "not_found" (404), "too_large" (413), "timeout" (504),
+// "internal" (500).
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// errStatus classifies an error into its HTTP status and stable code.
+// The taxonomy: malformed or semantically invalid requests are the
+// client's fault (400/413); a well-formed query with no answer is 404; a
+// query that outlived its deadline or its client is 504; everything
+// unexpected — including handler panics — is a 500, never blamed on the
+// client.
+func errStatus(err error) (int, string) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, core.ErrInvalid):
+		return http.StatusBadRequest, "invalid"
+	case errors.Is(err, core.ErrNoResult):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, core.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "timeout"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -153,8 +218,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// fail classifies err and writes the error response.
+func fail(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+// invalidf builds a client-fault error (maps to 400).
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", core.ErrInvalid, fmt.Sprintf(format, args...))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -208,10 +280,17 @@ type FANNResponse struct {
 	Micros  int64        `json:"micros"`
 }
 
+// maxFANNBody bounds the /fann request body (point sets can be large but
+// not unbounded); maxDistBody bounds /dist.
+const (
+	maxFANNBody = 16 << 20
+	maxDistBody = 1 << 20
+)
+
 func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	var req FANNRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxFANNBody)).Decode(&req); err != nil {
+		fail(w, decodeErr(err))
 		return
 	}
 	q := core.Query{P: req.P, Q: req.Q, Phi: req.Phi}
@@ -221,11 +300,11 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	case "sum":
 		q.Agg = core.Sum
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown aggregate %q", req.Agg))
+		fail(w, invalidf("unknown aggregate %q", req.Agg))
 		return
 	}
 	if err := q.Validate(s.g); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		fail(w, err)
 		return
 	}
 	if req.K < 1 {
@@ -237,24 +316,48 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	}
 	pool, ok := s.pools[engineName]
 	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q (see /meta)", engineName))
+		fail(w, invalidf("unknown engine %q (see /meta)", engineName))
 		return
 	}
 
+	// The query lifecycle is bounded by the request: the context ends when
+	// the client disconnects, and -query-timeout adds a server-side
+	// deadline on top. The Cancel hook polls an atomic the context watcher
+	// flips, so every algorithm aborts at its next loop boundary.
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	stop := q.BindContext(ctx)
+	defer stop()
+
 	start := time.Now()
 	var answers []core.Answer
-	err := pool.With(func(gp core.GPhi) error {
-		var err error
-		answers, err = s.dispatch(req.Algo, gp, q, req.K)
-		return err
-	})
+	var err error
+	gp := pool.Get()
+	completed := false
+	defer func() {
+		// On panic the engine's internal state is suspect: drop it for the
+		// GC instead of poisoning the free list; recoverPanics answers 500.
+		if completed {
+			pool.Put(gp)
+		}
+	}()
+	answers, err = s.dispatch(req.Algo, gp, q, req.K)
+	completed = true
 	elapsed := time.Since(start)
-	switch {
-	case errors.Is(err, core.ErrNoResult):
-		writeErr(w, http.StatusNotFound, err)
-		return
-	case err != nil:
-		writeErr(w, http.StatusBadRequest, err)
+	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			// Attribute the abort: a server-side deadline is a 504 the
+			// client will read; a vanished client just gets the connection
+			// closed.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				err = fmt.Errorf("%w: %w", err, ctxErr)
+			}
+		}
+		fail(w, err)
 		return
 	}
 	resp := FANNResponse{Micros: elapsed.Microseconds()}
@@ -262,6 +365,17 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeErr classifies a request-body decoding failure: an oversized body
+// keeps its *http.MaxBytesError identity (413), everything else is a
+// malformed request (400).
+func decodeErr(err error) error {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return fmt.Errorf("%w: decoding request: %s", core.ErrInvalid, err)
 }
 
 func (s *Server) dispatch(algo string, gp core.GPhi, q core.Query, k int) ([]core.Answer, error) {
@@ -284,7 +398,7 @@ func (s *Server) dispatch(algo string, gp core.GPhi, q core.Query, k int) ([]cor
 		return single(core.RList(s.g, gp, q))
 	case "ier":
 		if !s.g.HasCoords() {
-			return nil, errors.New("ier needs coordinates")
+			return nil, invalidf("algorithm \"ier\" needs coordinates, which dataset %q lacks", s.g.Name())
 		}
 		rtP := core.BuildPTree(s.g, q.P)
 		if k > 1 {
@@ -302,7 +416,7 @@ func (s *Server) dispatch(algo string, gp core.GPhi, q core.Query, k int) ([]cor
 		}
 		return single(core.APXSum(s.g, gp, q))
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
+		return nil, invalidf("unknown algorithm %q", algo)
 	}
 }
 
@@ -314,13 +428,17 @@ type DistRequest struct {
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	var req DistRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDistBody)).Decode(&req); err != nil {
+		fail(w, decodeErr(err))
 		return
 	}
 	n := graph.NodeID(s.g.NumNodes())
 	if req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("node ids outside [0,%d)", n))
+		fail(w, invalidf("node ids outside [0,%d)", n))
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		fail(w, err)
 		return
 	}
 	d := s.dist.Get().(*sp.Dijkstra)

@@ -48,6 +48,8 @@ func FindPOILayer(name string) (POILayer, error) {
 // their points from a handful of network-expansion clusters; uniform
 // layers sample the whole network.
 func (gen *Generator) POI(layer POILayer) []graph.NodeID {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
 	count := layer.PaperCount * gen.g.NumNodes() / paperNWNodes
 	if count < 4 {
 		count = 4
@@ -61,5 +63,5 @@ func (gen *Generator) POI(layer POILayer) []graph.NodeID {
 	// Clustered layers: ~1 cluster per 32 points, spread over the whole
 	// network (A = 100%).
 	clusters := count/32 + 1
-	return gen.ClusteredQ(1.0, count, clusters)
+	return gen.clusteredQ(1.0, count, clusters)
 }

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
 
 	"fannr/internal/graph"
 	"fannr/internal/sp"
@@ -117,9 +118,14 @@ func DefaultParams() Params {
 }
 
 // Generator draws P and Q sets over one road network. It caches the
-// network radius computation. Not safe for concurrent use.
+// network radius computation. Safe for concurrent use: mu serializes the
+// shared rand.Rand and Dijkstra scratch, so concurrent draws are each
+// well-formed (though their interleaving — and therefore which draw gets
+// which sample — is scheduling-dependent; use one Generator per goroutine
+// when per-draw determinism matters).
 type Generator struct {
 	g      *graph.Graph
+	mu     sync.Mutex
 	rng    *rand.Rand
 	d      *sp.Dijkstra
 	radius float64
@@ -153,6 +159,8 @@ func (gen *Generator) Radius() float64 { return gen.radius }
 // UniformP samples ⌈d·|V|⌉ distinct nodes uniformly (the paper's uniform
 // data points).
 func (gen *Generator) UniformP(d float64) []graph.NodeID {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
 	count := int(math.Ceil(d * float64(gen.g.NumNodes())))
 	if count < 1 {
 		count = 1
@@ -167,6 +175,8 @@ func (gen *Generator) UniformP(d float64) []graph.NodeID {
 // most A·radius, expanding outward when the region is too small (the
 // paper's uniform query points).
 func (gen *Generator) UniformQ(a float64, m int) []graph.NodeID {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
 	region := gen.region(a, m)
 	return gen.sampleFrom(region, m)
 }
@@ -175,6 +185,14 @@ func (gen *Generator) UniformQ(a float64, m int) []graph.NodeID {
 // query points around each by network expansion (the paper's clustered
 // query points).
 func (gen *Generator) ClusteredQ(a float64, m, c int) []graph.NodeID {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	return gen.clusteredQ(a, m, c)
+}
+
+// clusteredQ is ClusteredQ with gen.mu held (POI reuses it under its own
+// lock).
+func (gen *Generator) clusteredQ(a float64, m, c int) []graph.NodeID {
 	if c < 1 {
 		c = 1
 	}

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"os"
+	"sync"
 	"testing"
 
 	"fannr/internal/graph"
@@ -250,4 +251,46 @@ func TestGeneratorDeterminism(t *testing.T) {
 			t.Fatal("nondeterministic sampling")
 		}
 	}
+}
+
+// TestConcurrentDraws certifies the Generator's concurrency contract: one
+// shared instance serving many goroutines must produce only well-formed
+// draws (right cardinality, distinct in-range nodes) with no data race on
+// the shared rand.Rand or Dijkstra scratch. Run under -race.
+func TestConcurrentDraws(t *testing.T) {
+	g := testGraph(t)
+	gen := NewGenerator(g, 8)
+	ff, _ := FindPOILayer("FF")
+	check := func(t *testing.T, pts []graph.NodeID, want int) {
+		t.Helper()
+		if len(pts) != want {
+			t.Errorf("draw returned %d points, want %d", len(pts), want)
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, v := range pts {
+			if v < 0 || int(v) >= g.NumNodes() {
+				t.Errorf("node %d out of range", v)
+			}
+			if seen[v] {
+				t.Errorf("duplicate node %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				check(t, gen.UniformP(0.01), int(math.Ceil(0.01*float64(g.NumNodes()))))
+				check(t, gen.UniformQ(0.2, 32), 32)
+				check(t, gen.ClusteredQ(0.5, 32, 4), 32)
+				if pts := gen.POI(ff); len(pts) < 4 {
+					t.Errorf("POI draw returned %d points", len(pts))
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
