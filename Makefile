@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke bench-server bench-build
+.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -23,8 +23,8 @@ vet:
 ## -short; drop it for the full hammer.
 race:
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
-		./internal/gtree/... ./internal/ch/... ./internal/par/... \
-		./internal/workload/... ./internal/difftest/...
+		./internal/resil/... ./internal/gtree/... ./internal/ch/... \
+		./internal/par/... ./internal/workload/... ./internal/difftest/...
 
 ## Race detector over everything, full-size tests (slow).
 race-full:
@@ -38,6 +38,17 @@ fuzz-smoke:
 	$(GO) test -run - -fuzz FuzzFANNEndpoint -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run - -fuzz FuzzDistEndpoint -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run - -fuzz FuzzDifferentialCase -fuzztime $(FUZZTIME) ./internal/difftest/
+	$(GO) test -run - -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/phl/
+	$(GO) test -run - -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/gtree/
+	$(GO) test -run - -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/ch/
+
+## Fault-injection and overload acceptance: the circuit breaker + chaos
+## engine contracts, then the server driven through saturation, breaker
+## trips, fallback, and recovery — all under the race detector.
+chaos:
+	$(GO) test -race -v ./internal/resil/
+	$(GO) test -race -v -run 'Overload|Drain|Chaos|Ladder|Saturat|Bounded' \
+		./internal/server/ ./internal/core/
 
 verify: build test vet race
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"fannr"
@@ -46,19 +47,14 @@ func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf, 
 	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
 
 	save := func(name string, build func(w io.Writer) (int64, error)) error {
-		f, err := os.Create(name)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
 		start := time.Now()
-		bytes, err := build(f)
+		bytes, err := atomicWrite(name, build)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s: ~%.1f MB in %s\n", name, float64(bytes)/1e6,
 			time.Since(start).Round(time.Millisecond))
-		return f.Close()
+		return nil
 	}
 
 	wants := func(k string) bool { return kind == k || kind == "all" }
@@ -109,6 +105,48 @@ func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf, 
 		return fmt.Errorf("unknown index kind %q", kind)
 	}
 	return nil
+}
+
+// atomicWrite streams build into a temp file next to name, fsyncs it,
+// and renames it into place, so a crash or full disk mid-build can never
+// leave a truncated index at name — readers see the old file or the new
+// one, nothing in between. The directory is fsynced after the rename so
+// the new name itself survives a power cut.
+func atomicWrite(name string, build func(w io.Writer) (int64, error)) (int64, error) {
+	dir := filepath.Dir(name)
+	tmp, err := os.CreateTemp(dir, filepath.Base(name)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bytes, err := build(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), name); err != nil {
+		return 0, err
+	}
+	tmp = nil // renamed into place: nothing left to clean up
+	d, err := os.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return 0, fmt.Errorf("syncing %s: %w", dir, err)
+	}
+	return bytes, nil
 }
 
 func loadGraph(dataset string, scale float64, grFile, coFile string) (*fannr.Graph, error) {

@@ -1,21 +1,30 @@
 // Command fannr-server serves FANN_R queries over HTTP.
 //
 //	fannr-server -dataset NW -scale 0.015625 -addr :8080 -engines PHL,GTree \
-//	    -query-timeout 5s
+//	    -query-timeout 5s -max-inflight 64 -queue-depth 128 \
+//	    -breaker-threshold 5 -fallback PHL=INE
 //
 // Endpoints:
 //
-//	GET  /health  liveness
-//	GET  /meta    dataset + available engines
-//	POST /fann    {"p":[...],"q":[...],"phi":0.5,"agg":"max","algo":"ier",
+//	GET  /health   liveness (alias of /healthz)
+//	GET  /healthz  liveness: 200 while the process serves, 503 once draining
+//	GET  /readyz   readiness: 503 while draining or any circuit breaker is open
+//	GET  /meta     dataset, engines, per-pool gauges, limits, fallback ladder
+//	POST /fann     {"p":[...],"q":[...],"phi":0.5,"agg":"max","algo":"ier",
 //	               "engine":"IER-PHL","k":1}
-//	POST /dist    {"u":1,"v":2}
+//	POST /dist     {"u":1,"v":2}
 //
 // Request lifecycle: every /fann query is bounded by -query-timeout and
 // by its client — a disconnect or deadline aborts the search promptly and
-// answers 504 (code "timeout"). Errors carry a stable JSON shape
-// {"error":..., "code":...}; see internal/server for the taxonomy. On
-// SIGINT/SIGTERM the server stops accepting connections and drains
+// answers 504 (code "timeout"). Admission is bounded by -max-inflight per
+// engine pool with a -queue-depth wait queue; beyond that requests are
+// shed with 503 (code "overloaded") and a Retry-After hint. With
+// -breaker-threshold set, an engine that fails that many times in a row
+// has its circuit opened and requests fall back along the -fallback
+// ladder (answers are stamped "degraded":true); without a fallback they
+// shed. Errors carry a stable JSON shape {"error":..., "code":...}; see
+// internal/server for the taxonomy. On SIGINT/SIGTERM the server flips
+// /healthz and /readyz to 503, stops accepting connections, and drains
 // in-flight requests for up to -drain-timeout before exiting.
 package main
 
@@ -36,33 +45,86 @@ import (
 	"fannr/internal/server"
 )
 
+// config carries the flag values into run.
+type config struct {
+	dataset          string
+	scale            float64
+	addr             string
+	engines          string
+	workers          int
+	queryTimeout     time.Duration
+	drainTimeout     time.Duration
+	maxInFlight      int
+	queueDepth       int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	retryAfter       time.Duration
+	fallback         string
+}
+
 func main() {
-	var (
-		dataset      = flag.String("dataset", "NW", "Table III dataset name (synthetic)")
-		scale        = flag.Float64("scale", 1.0/64, "dataset scale")
-		addr         = flag.String("addr", ":8080", "listen address")
-		engines      = flag.String("engines", "PHL", "indexes to build at startup: comma-separated from PHL,GTree,CH")
-		workers      = flag.Int("workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
-		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request compute budget for /fann (0 = unlimited)")
-		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget after SIGINT/SIGTERM")
-	)
+	var cfg config
+	flag.StringVar(&cfg.dataset, "dataset", "NW", "Table III dataset name (synthetic)")
+	flag.Float64Var(&cfg.scale, "scale", 1.0/64, "dataset scale")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.engines, "engines", "PHL", "indexes to build at startup: comma-separated from PHL,GTree,CH")
+	flag.IntVar(&cfg.workers, "workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
+	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 10*time.Second, "per-request compute budget for /fann (0 = unlimited)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown drain budget after SIGINT/SIGTERM")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "per-engine cap on concurrent queries (0 = unbounded)")
+	flag.IntVar(&cfg.queueDepth, "queue-depth", 0, "queued queries allowed per engine once the cap is reached; beyond it requests shed with 503")
+	flag.IntVar(&cfg.breakerThreshold, "breaker-threshold", 0, "consecutive engine failures that open its circuit breaker (0 = disabled)")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+	flag.DurationVar(&cfg.retryAfter, "retry-after", time.Second, "Retry-After hint attached to 503 overloaded responses")
+	flag.StringVar(&cfg.fallback, "fallback", "", `breaker fallback ladder, e.g. "PHL=INE,GTree=INE": when the left engine's breaker is open, serve from the right one (degraded)`)
 	flag.Parse()
-	if err := run(*dataset, *scale, *addr, *engines, *workers, *queryTimeout, *drainTimeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, addr, engines string, workers int, queryTimeout, drainTimeout time.Duration) error {
-	g, err := fannr.LoadDataset(dataset, scale)
+// parseFallback turns "A=B,C=D" into a ladder map.
+func parseFallback(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	ladder := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		from, to, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		from, to = strings.TrimSpace(from), strings.TrimSpace(to)
+		if !ok || from == "" || to == "" {
+			return nil, fmt.Errorf("malformed -fallback entry %q (want FROM=TO)", pair)
+		}
+		if _, dup := ladder[from]; dup {
+			return nil, fmt.Errorf("duplicate -fallback source %q", from)
+		}
+		ladder[from] = to
+	}
+	return ladder, nil
+}
+
+func run(cfg config) error {
+	ladder, err := parseFallback(cfg.fallback)
+	if err != nil {
+		return err
+	}
+	g, err := fannr.LoadDataset(cfg.dataset, cfg.scale)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
 
-	opts := server.Options{QueryTimeout: queryTimeout}
+	opts := server.Options{
+		QueryTimeout:     cfg.queryTimeout,
+		MaxInFlight:      cfg.maxInFlight,
+		QueueDepth:       cfg.queueDepth,
+		BreakerThreshold: cfg.breakerThreshold,
+		BreakerCooldown:  cfg.breakerCooldown,
+		RetryAfter:       cfg.retryAfter,
+	}
 	var gtreeIndex *fannr.GTree
-	for _, name := range strings.Split(engines, ",") {
+	for _, name := range strings.Split(cfg.engines, ",") {
 		switch strings.TrimSpace(name) {
 		case "", "INE", "A*":
 			// always available
@@ -75,14 +137,14 @@ func run(dataset string, scale float64, addr, engines string, workers int, query
 			opts.PHL = ix
 		case "GTree":
 			fmt.Println("building G-tree...")
-			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{Workers: workers})
+			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{Workers: cfg.workers})
 			if err != nil {
 				return err
 			}
 			gtreeIndex = tr
 		case "CH":
 			fmt.Println("building contraction hierarchy...")
-			ix, err := fannr.BuildCH(g, fannr.CHOptions{Workers: workers})
+			ix, err := fannr.BuildCH(g, fannr.CHOptions{Workers: cfg.workers})
 			if err != nil {
 				return err
 			}
@@ -102,14 +164,19 @@ func run(dataset string, scale float64, addr, engines string, workers int, query
 			return err
 		}
 	}
+	// The ladder is validated after every engine is registered so it may
+	// reference late-registered engines like GTree.
+	if err := srv.SetFallback(ladder); err != nil {
+		return fmt.Errorf("-fallback: %w (registered engines: %s)", err, strings.Join(srv.Engines(), ", "))
+	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("listening on %s (query timeout %v)\n", addr, queryTimeout)
+		fmt.Printf("listening on %s (query timeout %v)\n", cfg.addr, cfg.queryTimeout)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -118,9 +185,10 @@ func run(dataset string, scale float64, addr, engines string, workers int, query
 		return err
 	case <-ctx.Done():
 	}
-	stop() // a second signal kills immediately
-	fmt.Printf("shutting down: draining in-flight requests (up to %v)\n", drainTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	stop()           // a second signal kills immediately
+	srv.BeginDrain() // /healthz + /readyz answer 503 so balancers stop routing here
+	fmt.Printf("shutting down: draining in-flight requests (up to %v)\n", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		httpSrv.Close()

@@ -3,12 +3,18 @@
 // hierarchies). All values are little-endian; slices are length-prefixed
 // with int64 counts validated against a configurable sanity limit so a
 // corrupted stream fails fast instead of allocating absurd buffers.
+//
+// Every stream ends in a CRC32 (IEEE) footer covering all preceding
+// bytes: Flush appends it automatically and Footer verifies it, so
+// bit-rot in a saved index fails loudly at load time instead of
+// corrupting answers.
 package binio
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -16,11 +22,18 @@ import (
 // MaxSliceLen bounds any length prefix accepted by a Reader.
 const MaxSliceLen = 1 << 31
 
+// maxPrealloc bounds the elements any slice read pre-allocates before
+// bytes actually arrive; longer slices grow by append, so a forged
+// length prefix hits a read error long before it can demand gigabytes.
+const maxPrealloc = 1 << 16
+
 // Writer writes little-endian binary values, remembering the first error.
 type Writer struct {
-	w   *bufio.Writer
-	err error
-	buf [8]byte
+	w      *bufio.Writer
+	err    error
+	buf    [8]byte
+	crc    uint32
+	sealed bool
 }
 
 // NewWriter wraps w.
@@ -31,8 +44,17 @@ func NewWriter(w io.Writer) *Writer {
 // Err returns the first write error.
 func (w *Writer) Err() error { return w.err }
 
-// Flush flushes buffered output and returns the first error.
+// Flush appends the CRC32 footer (first call only) and flushes buffered
+// output, returning the first error. No values may be written after it.
 func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.sealed {
+		w.sealed = true
+		binary.LittleEndian.PutUint32(w.buf[:4], w.crc)
+		w.write(w.buf[:4])
+	}
 	if w.err != nil {
 		return w.err
 	}
@@ -44,6 +66,7 @@ func (w *Writer) write(b []byte) {
 	if w.err != nil {
 		return
 	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
 	_, w.err = w.w.Write(b)
 }
 
@@ -89,6 +112,7 @@ type Reader struct {
 	r   *bufio.Reader
 	err error
 	buf [8]byte
+	crc uint32
 }
 
 // NewReader wraps r.
@@ -105,7 +129,9 @@ func (r *Reader) read(n int) []byte {
 	}
 	if _, err := io.ReadFull(r.r, r.buf[:n]); err != nil {
 		r.err = err
+		return r.buf[:n]
 	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.buf[:n])
 	return r.buf[:n]
 }
 
@@ -119,8 +145,28 @@ func (r *Reader) Magic(tag string) {
 		r.err = err
 		return
 	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, got)
 	if string(got) != tag {
 		r.err = fmt.Errorf("binio: bad magic %q, want %q", got, tag)
+	}
+}
+
+// Footer consumes the trailing CRC32 and verifies it against every byte
+// read so far. Call it after the last value of a stream; a mismatch
+// (bit-rot, truncation at the footer, torn write) becomes the sticky
+// error.
+func (r *Reader) Footer() {
+	if r.err != nil {
+		return
+	}
+	want := r.crc
+	var b [4]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.err = fmt.Errorf("binio: reading checksum footer: %w", err)
+		return
+	}
+	if got := binary.LittleEndian.Uint32(b[:]); got != want {
+		r.err = fmt.Errorf("binio: checksum mismatch: stream carries %#08x, content hashes to %#08x", binary.LittleEndian.Uint32(b[:]), want)
 	}
 }
 
@@ -152,34 +198,40 @@ func (r *Reader) Len() int {
 	return int(n)
 }
 
-// I32s reads a length-prefixed int32 slice (nil when empty).
+// I32s reads a length-prefixed int32 slice (nil when empty). The
+// pre-allocation is capped at maxPrealloc elements and the slice grows
+// only as bytes actually arrive, so a forged length prefix cannot
+// demand gigabytes for a tiny stream.
 func (r *Reader) I32s() []int32 {
 	n := r.Len()
 	if n == 0 {
 		return nil
 	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = r.I32()
+	out := make([]int32, 0, min(n, maxPrealloc))
+	for i := 0; i < n; i++ {
+		v := r.I32()
 		if r.err != nil {
 			return nil
 		}
+		out = append(out, v)
 	}
 	return out
 }
 
-// F64s reads a length-prefixed float64 slice (nil when empty).
+// F64s reads a length-prefixed float64 slice (nil when empty), with the
+// same bounded pre-allocation as I32s.
 func (r *Reader) F64s() []float64 {
 	n := r.Len()
 	if n == 0 {
 		return nil
 	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = r.F64()
+	out := make([]float64, 0, min(n, maxPrealloc))
+	for i := 0; i < n; i++ {
+		v := r.F64()
 		if r.err != nil {
 			return nil
 		}
+		out = append(out, v)
 	}
 	return out
 }

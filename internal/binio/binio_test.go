@@ -43,8 +43,62 @@ func TestRoundTrip(t *testing.T) {
 	if got := r.I32s(); got != nil {
 		t.Fatalf("empty I32s = %v", got)
 	}
+	r.Footer()
 	if err := r.Err(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFooterDetectsBitRot flips each payload byte in turn; the CRC32
+// footer must reject every corruption, and a tampered footer itself must
+// be rejected too.
+func TestFooterDetectsBitRot(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("ROT1\n")
+	w.I32s([]int32{1, 2, 3})
+	w.F64(math.Pi)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	readAll := func(data []byte) error {
+		r := NewReader(bytes.NewReader(data))
+		r.Magic("ROT1\n")
+		r.I32s()
+		r.F64()
+		r.Footer()
+		return r.Err()
+	}
+	if err := readAll(buf.Bytes()); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+	for i := range buf.Bytes() {
+		tampered := append([]byte(nil), buf.Bytes()...)
+		tampered[i] ^= 0x40
+		if readAll(tampered) == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+	}
+	if readAll(buf.Bytes()[:buf.Len()-1]) == nil {
+		t.Fatal("truncated footer accepted")
+	}
+}
+
+// TestFlushSealsOnce pins that a second Flush only flushes — it must not
+// append a second footer.
+func TestFlushSealsOnce(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.I32(9)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	once := buf.Len()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != once {
+		t.Fatalf("second Flush grew the stream from %d to %d bytes", once, buf.Len())
 	}
 }
 
@@ -65,7 +119,8 @@ func TestTruncatedStream(t *testing.T) {
 	w := NewWriter(&buf)
 	w.I32s([]int32{1, 2, 3, 4, 5})
 	_ = w.Flush()
-	trunc := buf.Bytes()[:buf.Len()-3]
+	// Cut into the payload itself (the stream ends in a 4-byte footer).
+	trunc := buf.Bytes()[:buf.Len()-7]
 	r := NewReader(bytes.NewReader(trunc))
 	r.I32s()
 	if r.Err() == nil {

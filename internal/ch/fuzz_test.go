@@ -1,16 +1,19 @@
-package phl
+package ch
 
 import (
 	"bytes"
 	"testing"
+
+	"fannr/internal/graph"
 )
 
-// FuzzRead hardens the index deserializer: arbitrary bytes must never
-// panic or allocate absurd buffers, and accepted inputs must produce an
-// index whose queries do not crash.
+// FuzzRead hardens the hierarchy deserializer: arbitrary bytes must
+// never panic or allocate absurd buffers, and accepted inputs must
+// produce an index whose queries do not crash. Mirrors internal/phl's
+// FuzzRead.
 func FuzzRead(f *testing.F) {
 	// Seed with a real serialized index and some corruptions of it.
-	g := randomGraph(f, 40, 1)
+	g := randomGraph(f, 60, 96)
 	ix, err := Build(g, Options{})
 	if err != nil {
 		f.Fatal(err)
@@ -35,11 +38,8 @@ func FuzzRead(f *testing.F) {
 			return
 		}
 		// Whatever was accepted must be internally usable.
-		n := len(ix.hubs)
-		if n == 0 {
-			t.Fatal("accepted empty index")
-		}
-		_ = ix.Dist(0, int32(n-1))
-		_ = ix.Entries()
+		q := ix.NewQuerier()
+		_ = q.Dist(0, graph.NodeID(ix.n-1))
+		_ = ix.MemoryBytes()
 	})
 }

@@ -8,7 +8,10 @@ import (
 	"fannr/internal/graph"
 )
 
-const magic = "FANNRCH1\n"
+// magic v2: streams end in a CRC32 footer (binio.Writer.Flush); v1 files
+// without it are rejected by the tag so a loader never trusts an
+// unverifiable index.
+const magic = "FANNRCH2\n"
 
 // Save serializes the hierarchy in fannr's little-endian binary format.
 func (ix *Index) Save(w io.Writer) error {
@@ -56,6 +59,10 @@ func Read(r io.Reader) (*Index, error) {
 	}
 	if int(ix.upStart[n]) != len(ix.upNode) {
 		return nil, fmt.Errorf("ch: CSR end %d != arc count %d", ix.upStart[n], len(ix.upNode))
+	}
+	br.Footer()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("ch: verifying index: %w", err)
 	}
 	return ix, nil
 }

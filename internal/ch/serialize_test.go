@@ -57,3 +57,26 @@ func TestReadRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestReadDetectsBitRot flips single bits across the stream; the CRC32
+// footer must reject every one, even flips that keep the structure
+// parseable (a shortcut weight byte, a rank entry).
+func TestReadDetectsBitRot(t *testing.T) {
+	g := randomGraph(t, 60, 63)
+	ix, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := len(magic); i < len(data); i += 13 {
+		rotted := append([]byte(nil), data...)
+		rotted[i] ^= 0x04
+		if _, err := Read(bytes.NewReader(rotted)); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", i)
+		}
+	}
+}

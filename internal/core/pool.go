@@ -1,9 +1,32 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 )
+
+// ErrSaturated is returned by EnginePool.Acquire when the pool is at its
+// in-flight cap and its wait queue is full: the request is shed rather
+// than queued. The HTTP server maps it to 503 "overloaded" with a
+// Retry-After hint.
+var ErrSaturated = errors.New("fannr: engine pool saturated")
+
+// PoolLimits bounds admission into an EnginePool. The cap turns a
+// traffic burst from "build an unbounded number of O(|V|) engines and
+// OOM" into "queue a little, then shed with a clear signal".
+type PoolLimits struct {
+	// MaxInFlight is the hard cap on engines checked out at once;
+	// <= 0 means unbounded (the pre-admission behavior).
+	MaxInFlight int
+	// QueueDepth is how many Acquire callers may wait for a slot once
+	// the cap is reached; beyond it callers are shed immediately with
+	// ErrSaturated. Negative is treated as 0 (shed as soon as the cap
+	// is hit).
+	QueueDepth int
+}
 
 // EngineFactory builds a fresh GPhi engine over shared immutable indexes
 // (graph, hub labels, G-tree, CH upward graph — all safe for concurrent
@@ -21,27 +44,57 @@ type EngineFactory func() GPhi
 // are dropped for the GC, sync.Pool-style, so a burst of traffic cannot
 // pin an unbounded number of O(|V|) scratch allocations). The pool itself
 // is safe for concurrent use.
+//
+// A pool built with NewBoundedEnginePool additionally enforces a hard
+// in-flight cap with a bounded wait queue through Acquire/Release/
+// Discard; Get/Put bypass admission and remain for unbounded pools and
+// non-serving callers (experiments, tests).
 type EnginePool struct {
 	name    string
 	factory EngineFactory
 	free    chan GPhi
 	created atomic.Int64
 	reused  atomic.Int64
+
+	// Admission control (nil sem = unbounded, the legacy shape): sem
+	// holds one token per in-flight checkout, queueDepth bounds how many
+	// Acquire callers may block waiting for a token.
+	sem        chan struct{}
+	queueDepth int
+	inflight   atomic.Int64
+	queued     atomic.Int64
+	shed       atomic.Int64
 }
 
 // NewEnginePool returns a pool producing engines from factory. capacity
 // bounds the free-list (how many idle engines are retained between
 // checkouts); capacity <= 0 defaults to GOMAXPROCS, matching the maximum
-// useful query parallelism on the host. No engine is built up front.
+// useful query parallelism on the host. No engine is built up front, and
+// admission is unbounded — use NewBoundedEnginePool to cap it.
 func NewEnginePool(name string, capacity int, factory EngineFactory) *EnginePool {
+	return NewBoundedEnginePool(name, capacity, PoolLimits{}, factory)
+}
+
+// NewBoundedEnginePool is NewEnginePool with admission control: at most
+// limits.MaxInFlight engines are checked out at once, at most
+// limits.QueueDepth Acquire callers wait for a slot, and the rest shed
+// with ErrSaturated. Because the factory only runs under an admission
+// token, the pool can never hold more than MaxInFlight + capacity live
+// engines no matter how hard it is hammered.
+func NewBoundedEnginePool(name string, capacity int, limits PoolLimits, factory EngineFactory) *EnginePool {
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
 	}
-	return &EnginePool{
-		name:    name,
-		factory: factory,
-		free:    make(chan GPhi, capacity),
+	p := &EnginePool{
+		name:       name,
+		factory:    factory,
+		free:       make(chan GPhi, capacity),
+		queueDepth: max(limits.QueueDepth, 0),
 	}
+	if limits.MaxInFlight > 0 {
+		p.sem = make(chan struct{}, limits.MaxInFlight)
+	}
+	return p
 }
 
 // Name identifies the pool's engine ("INE", "PHL", ...).
@@ -76,10 +129,80 @@ func (p *EnginePool) Put(gp GPhi) {
 	}
 }
 
+// Limits reports the admission bounds (zero MaxInFlight = unbounded).
+func (p *EnginePool) Limits() PoolLimits {
+	return PoolLimits{MaxInFlight: cap(p.sem), QueueDepth: p.queueDepth}
+}
+
+// Acquire checks an engine out under admission control. When the pool is
+// below its in-flight cap it admits immediately; at the cap it waits in
+// the bounded queue until a slot frees or ctx ends (returning ctx's
+// error, which the server classifies as a timeout); with the queue also
+// full it sheds immediately with ErrSaturated. Callers must pair every
+// success with exactly one Release or Discard. An unbounded pool only
+// checks ctx and delegates to Get.
+func (p *EnginePool) Acquire(ctx context.Context) (GPhi, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.sem != nil {
+		select {
+		case p.sem <- struct{}{}:
+		default:
+			// Cap reached: join the bounded wait queue or shed. The
+			// counter reserves the queue slot atomically, so a burst
+			// cannot overshoot the depth.
+			if p.queued.Add(1) > int64(p.queueDepth) {
+				p.queued.Add(-1)
+				p.shed.Add(1)
+				return nil, fmt.Errorf("%w: %q at %d in-flight, %d queued",
+					ErrSaturated, p.name, cap(p.sem), p.queueDepth)
+			}
+			select {
+			case p.sem <- struct{}{}:
+				p.queued.Add(-1)
+			case <-ctx.Done():
+				p.queued.Add(-1)
+				return nil, ctx.Err()
+			}
+		}
+	}
+	p.inflight.Add(1)
+	return p.Get(), nil
+}
+
+// Release returns an engine acquired with Acquire: it goes back to the
+// free list (or is dropped beyond capacity) and the admission slot is
+// freed, waking one queued Acquire if any.
+func (p *EnginePool) Release(gp GPhi) {
+	p.Put(gp)
+	p.inflight.Add(-1)
+	if p.sem != nil {
+		<-p.sem
+	}
+}
+
+// Discard frees the admission slot of an acquired engine without
+// repooling it — the drop-on-panic path, where the engine's internal
+// state is suspect and must go to the GC.
+func (p *EnginePool) Discard() {
+	p.inflight.Add(-1)
+	if p.sem != nil {
+		<-p.sem
+	}
+}
+
 // Stats reports pool activity: engines built by the factory, checkouts
 // served from the free list, and engines currently idle.
 func (p *EnginePool) Stats() (created, reused int64, idle int) {
 	return p.created.Load(), p.reused.Load(), len(p.free)
+}
+
+// Gauges reports the admission-control counters: checkouts currently in
+// flight, Acquire callers currently waiting, and requests shed with
+// ErrSaturated since construction.
+func (p *EnginePool) Gauges() (inflight, queued, shed int64) {
+	return p.inflight.Load(), p.queued.Load(), p.shed.Load()
 }
 
 // With checks out an engine, runs f, and returns the engine even when f

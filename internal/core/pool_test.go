@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"fannr/internal/graph"
 	"fannr/internal/gtree"
@@ -176,4 +180,208 @@ func randomNodes(rng *rand.Rand, g *graph.Graph, count int) []graph.NodeID {
 		}
 	}
 	return out
+}
+
+// TestBoundedAcquireShedsBeyondQueue pins the admission state machine on
+// a pool with cap 1 and queue depth 1: the first Acquire admits, the
+// second queues, the third sheds immediately with ErrSaturated, and a
+// Release promotes the queued caller.
+func TestBoundedAcquireShedsBeyondQueue(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 60, Seed: 2, Name: "adm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewBoundedEnginePool("INE", 1, PoolLimits{MaxInFlight: 1, QueueDepth: 1},
+		func() GPhi { return NewINE(g) })
+	if lim := p.Limits(); lim.MaxInFlight != 1 || lim.QueueDepth != 1 {
+		t.Fatalf("limits %+v", lim)
+	}
+
+	ctx := context.Background()
+	first, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflight, _, _ := p.Gauges(); inflight != 1 {
+		t.Fatalf("inflight %d, want 1", inflight)
+	}
+
+	// Second caller occupies the one queue slot.
+	queuedGot := make(chan error, 1)
+	go func() {
+		gp, err := p.Acquire(ctx)
+		if err == nil {
+			p.Release(gp)
+		}
+		queuedGot <- err
+	}()
+	waitFor(t, func() bool { _, q, _ := p.Gauges(); return q == 1 })
+
+	// Third caller finds cap and queue full: shed, not blocked.
+	if _, err := p.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third Acquire returned %v, want ErrSaturated", err)
+	}
+	if _, _, shed := p.Gauges(); shed != 1 {
+		t.Fatalf("shed gauge %d, want 1", shed)
+	}
+
+	p.Release(first)
+	if err := <-queuedGot; err != nil {
+		t.Fatalf("queued caller got %v after Release, want admission", err)
+	}
+	waitFor(t, func() bool { inflight, q, _ := p.Gauges(); return inflight == 0 && q == 0 })
+}
+
+// TestBoundedAcquireHonorsDeadline pins that a queued caller gives up
+// with the context's error when its deadline fires before a slot frees.
+func TestBoundedAcquireHonorsDeadline(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 60, Seed: 2, Name: "adm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewBoundedEnginePool("INE", 1, PoolLimits{MaxInFlight: 1, QueueDepth: 4},
+		func() GPhi { return NewINE(g) })
+	held, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(held)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := p.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("queued Acquire did not give up at the deadline")
+	}
+	if _, q, _ := p.Gauges(); q != 0 {
+		t.Fatalf("queue gauge %d after deadline, want 0", q)
+	}
+	// An already-dead context never even tries.
+	deadCtx, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if _, err := p.Acquire(deadCtx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context Acquire returned %v, want Canceled", err)
+	}
+}
+
+// TestBoundedPoolCapsEngineBuilds is the OOM-resistance property: a
+// hammer at 8x the in-flight cap must never cause the factory to build
+// more than MaxInFlight engines, because the factory only runs under an
+// admission token and the free list retains every released engine.
+// Discard is exercised too — a dropped engine frees its slot and the
+// replacement build still counts against the same cap.
+func TestBoundedPoolCapsEngineBuilds(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 120, Seed: 3, Name: "cap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		maxInFlight = 3
+		queueDepth  = 2
+		goroutines  = 8 * maxInFlight
+	)
+	var live, peak atomic.Int64
+	p := NewBoundedEnginePool("INE", maxInFlight,
+		PoolLimits{MaxInFlight: maxInFlight, QueueDepth: queueDepth},
+		func() GPhi {
+			n := live.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			return NewINE(g)
+		})
+
+	var wg sync.WaitGroup
+	var admitted, shedCount atomic.Int64
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				gp, err := p.Acquire(ctx)
+				cancel()
+				switch {
+				case err == nil:
+					admitted.Add(1)
+					gp.Reset([]graph.NodeID{1, 5, 9})
+					_, _ = gp.Dist(graph.NodeID((i+it)%g.NumNodes()), 2, Max)
+					if (i+it)%7 == 0 {
+						live.Add(-1) // engine abandoned for the GC
+						p.Discard()
+					} else {
+						p.Release(gp)
+					}
+				case errors.Is(err, ErrSaturated) || errors.Is(err, context.DeadlineExceeded):
+					shedCount.Add(1)
+				default:
+					t.Errorf("unexpected Acquire error: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := peak.Load(); got > maxInFlight {
+		t.Fatalf("peak live engines %d, want <= cap %d", got, maxInFlight)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("hammer admitted nothing")
+	}
+	inflight, queued, _ := p.Gauges()
+	if inflight != 0 || queued != 0 {
+		t.Fatalf("gauges not drained: inflight=%d queued=%d", inflight, queued)
+	}
+	t.Logf("admitted=%d shed=%d peak=%d created=%d",
+		admitted.Load(), shedCount.Load(), peak.Load(), func() int64 { c, _, _ := p.Stats(); return c }())
+}
+
+// TestUnboundedAcquireDelegates pins that a plain NewEnginePool still
+// admits everything (legacy shape) while tracking the in-flight gauge.
+func TestUnboundedAcquireDelegates(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 60, Seed: 2, Name: "unb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewEnginePool("INE", 2, func() GPhi { return NewINE(g) })
+	if lim := p.Limits(); lim.MaxInFlight != 0 {
+		t.Fatalf("unbounded pool reports cap %d", lim.MaxInFlight)
+	}
+	var engines []GPhi
+	for i := 0; i < 10; i++ {
+		gp, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, gp)
+	}
+	if inflight, _, shed := p.Gauges(); inflight != 10 || shed != 0 {
+		t.Fatalf("gauges inflight=%d shed=%d, want 10, 0", inflight, shed)
+	}
+	for _, gp := range engines {
+		p.Release(gp)
+	}
+	if inflight, _, _ := p.Gauges(); inflight != 0 {
+		t.Fatalf("inflight %d after releases, want 0", inflight)
+	}
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
 }

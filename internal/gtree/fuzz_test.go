@@ -1,0 +1,44 @@
+package gtree
+
+import (
+	"bytes"
+	"testing"
+
+	"fannr/internal/graph"
+)
+
+// FuzzRead hardens the tree deserializer: arbitrary bytes must never
+// panic or allocate absurd buffers, and accepted inputs must produce a
+// tree whose queries do not crash. Mirrors internal/phl's FuzzRead.
+func FuzzRead(f *testing.F) {
+	// Seed with a real serialized tree and some corruptions of it.
+	g := roadNetwork(f, 120, 95)
+	tr, err := Build(g, Options{MaxLeafSize: 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	corrupted := append([]byte(nil), valid...)
+	for i := 16; i < len(corrupted) && i < 64; i += 7 {
+		corrupted[i] ^= 0xff
+	}
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must be internally usable.
+		q := tr.NewQuerier()
+		_ = q.Dist(0, graph.NodeID(g.NumNodes()-1))
+		_ = tr.Stats()
+	})
+}

@@ -8,7 +8,10 @@ import (
 	"fannr/internal/graph"
 )
 
-const magic = "FANNRGT1\n"
+// magic v2: streams end in a CRC32 footer (binio.Writer.Flush); v1 files
+// without it are rejected by the tag so a loader never trusts an
+// unverifiable index.
+const magic = "FANNRGT2\n"
 
 // Save serializes the tree in fannr's little-endian binary format. The
 // graph itself is not embedded — reattach the same graph in Read.
@@ -102,6 +105,10 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 		if len(n.mat) != wantMat {
 			return nil, fmt.Errorf("gtree: tree node %d matrix has %d cells, want %d", i, len(n.mat), wantMat)
 		}
+	}
+	br.Footer()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("gtree: verifying index: %w", err)
 	}
 	return t, nil
 }

@@ -70,3 +70,26 @@ func TestReadRejectsGarbageAndWrongGraph(t *testing.T) {
 		}
 	}
 }
+
+// TestReadDetectsBitRot flips single bits across the stream; the CRC32
+// footer must reject every one, even flips that keep the structure
+// parseable (a matrix cell byte, a border id).
+func TestReadDetectsBitRot(t *testing.T) {
+	g := roadNetwork(t, 200, 94)
+	tr, err := Build(g, Options{MaxLeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := len(magic); i < len(data); i += 101 {
+		rotted := append([]byte(nil), data...)
+		rotted[i] ^= 0x04
+		if _, err := Read(bytes.NewReader(rotted), g); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", i)
+		}
+	}
+}

@@ -7,7 +7,10 @@ import (
 	"fannr/internal/binio"
 )
 
-const magic = "FANNRPHL1\n"
+// magic v2: streams end in a CRC32 footer (binio.Writer.Flush); v1 files
+// without it are rejected by the tag so a loader never trusts an
+// unverifiable index.
+const magic = "FANNRPHL2\n"
 
 // Save serializes the index in fannr's little-endian binary format.
 func (ix *Index) Save(w io.Writer) error {
@@ -59,5 +62,9 @@ func Read(r io.Reader) (*Index, error) {
 				v, len(ix.hubs[v]), len(ix.dists[v]))
 		}
 	}
-	return ix, br.Err()
+	br.Footer()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("phl: verifying index: %w", err)
+	}
+	return ix, nil
 }

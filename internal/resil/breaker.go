@@ -1,0 +1,139 @@
+// Package resil provides the overload-resilience primitives the HTTP
+// server composes on top of the engine pools: a consecutive-failure
+// circuit breaker driving a fallback ladder, and a deterministic fault
+// injector (ChaosEngine) used to prove the whole degradation path —
+// saturation, breaker-open, fallback, recovery — in tests.
+package resil
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a breaker's position in the closed → open → half-open cycle.
+type State int32
+
+const (
+	// Closed is the healthy state: calls flow, failures are counted.
+	Closed State = iota
+	// Open rejects all calls until the cooldown elapses.
+	Open
+	// HalfOpen lets exactly one probe through; its outcome decides
+	// between Closed and another full cooldown.
+	HalfOpen
+)
+
+// String returns "closed", "open" or "half-open".
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. It trips after
+// threshold failures in a row, rejects everything for cooldown, then
+// admits a single probe: a successful probe closes it, a failed one buys
+// another cooldown. A threshold <= 0 disables the breaker entirely
+// (always closed). The zero value is a disabled breaker; all methods are
+// safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	// now is the clock, swappable in tests for a deterministic cycle.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	fails    int
+	openedAt time.Time
+}
+
+// NewBreaker returns a breaker tripping after threshold consecutive
+// failures and probing again after cooldown. threshold <= 0 disables it;
+// cooldown <= 0 defaults to one second.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Enabled reports whether the breaker counts failures at all.
+func (b *Breaker) Enabled() bool { return b != nil && b.threshold > 0 }
+
+// Allow reports whether a call may proceed. In Open state it flips to
+// HalfOpen once the cooldown has elapsed, admitting that caller as the
+// single probe; further callers are rejected until the probe reports.
+func (b *Breaker) Allow() bool {
+	if !b.Enabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			return true
+		}
+		return false
+	case HalfOpen:
+		return false
+	default:
+		return true
+	}
+}
+
+// Success records a successful call: the failure streak resets and a
+// half-open probe closes the breaker.
+func (b *Breaker) Success() {
+	if !b.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.state = Closed
+}
+
+// Failure records a failed call: a half-open probe reopens immediately,
+// and in the closed state the threshold-th consecutive failure opens the
+// breaker.
+func (b *Breaker) Failure() {
+	if !b.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.trip()
+		return
+	}
+	b.fails++
+	if b.state == Closed && b.fails >= b.threshold {
+		b.trip()
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.fails = 0
+}
+
+// State returns the current state without advancing it (an elapsed
+// cooldown still reports Open until some caller's Allow flips it).
+func (b *Breaker) State() State {
+	if !b.Enabled() {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,222 @@
+package resil
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+)
+
+// fakeClock drives a breaker through its cooldown without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestBreakerCycle walks the full state machine: failures below the
+// threshold keep it closed, the threshold-th opens it, the cooldown
+// admits a single half-open probe, a failed probe reopens, a successful
+// one closes.
+func TestBreakerCycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(3, 10*time.Second)
+	b.now = clk.now
+
+	if !b.Allow() || b.State() != Closed {
+		t.Fatal("new breaker must be closed")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state %v after 2/3 failures, want closed", b.State())
+	}
+	b.Success() // resets the streak
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("success did not reset the failure streak")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state %v after 3 consecutive failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+
+	clk.advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call 1s before cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after probe admitted, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+
+	b.Failure() // probe failed: straight back to open
+	if b.State() != Open {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected after another cooldown")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// TestBreakerDisabled pins that threshold <= 0 (including the zero
+// value) never counts, never opens, never blocks.
+func TestBreakerDisabled(t *testing.T) {
+	for _, b := range []*Breaker{NewBreaker(0, time.Second), {}} {
+		for i := 0; i < 100; i++ {
+			b.Failure()
+		}
+		if !b.Allow() || b.State() != Closed {
+			t.Fatal("disabled breaker tripped")
+		}
+		b.Success()
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines; run
+// under -race. The invariant: it never deadlocks and ends in a legal
+// state.
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(5, time.Microsecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if b.Allow() {
+					if (i+j)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s := b.State(); s != Closed && s != Open && s != HalfOpen {
+		t.Fatalf("illegal state %d", s)
+	}
+}
+
+func chaosInner(t testing.TB) core.GPhi {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{Nodes: 40, Seed: 3, Name: "chaos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := core.NewINE(g)
+	gp.Reset([]graph.NodeID{1, 2, 3})
+	return gp
+}
+
+// distPanics runs one Dist call and reports whether (and with what) it
+// panicked.
+func distPanics(gp core.GPhi, p graph.NodeID) (panicked bool, val any) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			panicked, val = true, rec
+		}
+	}()
+	gp.Dist(p, 2, core.Max)
+	return false, nil
+}
+
+// TestChaosDeterministic pins the injector contract: disarmed wrappers
+// are transparent, armed ones raise a seed-determined fault sequence
+// that replays exactly, and injected error panics carry ErrInjected.
+func TestChaosDeterministic(t *testing.T) {
+	sequence := func() []bool {
+		in := NewInjector(ChaosConfig{Seed: 42, ErrProb: 0.5})
+		gp := in.Wrap(chaosInner(t))
+		if gp.Name() != "INE" {
+			t.Fatalf("wrapper changed the engine name to %q", gp.Name())
+		}
+		// Disarmed: fully transparent.
+		for i := 0; i < 20; i++ {
+			if panicked, _ := distPanics(gp, graph.NodeID(i%10)); panicked {
+				t.Fatal("disarmed injector raised a fault")
+			}
+		}
+		in.Arm()
+		var seq []bool
+		sawErr := false
+		for i := 0; i < 40; i++ {
+			panicked, val := distPanics(gp, graph.NodeID(i%10))
+			seq = append(seq, panicked)
+			if panicked {
+				err, ok := val.(error)
+				if !ok || !errors.Is(err, ErrInjected) {
+					t.Fatalf("injected fault carried %v, want ErrInjected", val)
+				}
+				sawErr = true
+			}
+		}
+		if !sawErr {
+			t.Fatal("armed injector with ErrProb=0.5 never fired in 40 calls")
+		}
+		in.Disarm()
+		if panicked, _ := distPanics(gp, 1); panicked {
+			t.Fatal("disarmed injector still raising faults")
+		}
+		return seq
+	}
+	a, b := sequence(), sequence()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequences diverge at call %d: same seed must replay identically", i)
+		}
+	}
+}
+
+// TestChaosPanicMode pins the plain-panic flavor (PanicProb) and that
+// separate wraps from one injector draw distinct streams.
+func TestChaosPanicMode(t *testing.T) {
+	in := NewInjector(ChaosConfig{Seed: 7, PanicProb: 1})
+	gp := in.Wrap(chaosInner(t))
+	in.Arm()
+	panicked, val := distPanics(gp, 1)
+	if !panicked {
+		t.Fatal("PanicProb=1 did not panic")
+	}
+	if _, isErr := val.(error); isErr {
+		t.Fatalf("PanicProb mode carried an error %v; that is ErrProb's job", val)
+	}
+	if in.wraps.Load() != 1 {
+		t.Fatalf("wraps counter %d, want 1", in.wraps.Load())
+	}
+	_ = in.Wrap(chaosInner(t))
+	if in.wraps.Load() != 2 {
+		t.Fatalf("wraps counter %d, want 2", in.wraps.Load())
+	}
+}

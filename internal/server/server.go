@@ -18,11 +18,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fannr/internal/core"
 	"fannr/internal/graph"
+	"fannr/internal/resil"
 	"fannr/internal/sp"
 )
 
@@ -50,6 +54,32 @@ type Options struct {
 	// pinning an engine; client disconnects abort the same way regardless
 	// of the timeout.
 	QueryTimeout time.Duration
+	// MaxInFlight caps how many engines of each kind may be checked out
+	// at once (0 = unbounded, the legacy shape). At the cap requests wait
+	// in a bounded queue up to their deadline; beyond QueueDepth waiters
+	// they are shed immediately with 503 "overloaded" and a Retry-After
+	// hint, so a burst degrades into fast rejections instead of an
+	// unbounded pile of O(|V|) engine allocations.
+	MaxInFlight int
+	// QueueDepth is how many requests may wait per pool once MaxInFlight
+	// is reached (only meaningful with MaxInFlight > 0).
+	QueueDepth int
+	// BreakerThreshold opens an engine's circuit breaker after that many
+	// consecutive failures (panics or internal errors); 0 disables
+	// breaking. While open, requests for that engine follow the Fallback
+	// ladder and /readyz reports 503.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting a half-open probe (<= 0 defaults to 1s).
+	BreakerCooldown time.Duration
+	// Fallback maps an engine name to the next engine to serve from when
+	// its breaker is open (e.g. "PHL" -> "INE"). Chains are followed
+	// transitively; answers served off-ladder are stamped
+	// "degraded": true with the engine that actually answered.
+	Fallback map[string]string
+	// RetryAfter is the hint attached to 503 responses (<= 0 defaults to
+	// 1s).
+	RetryAfter time.Duration
 }
 
 // Server answers FANN_R queries over HTTP.
@@ -60,25 +90,50 @@ type Server struct {
 	mu     sync.Mutex
 	frozen bool
 	pools  map[string]*core.EnginePool
+	// breakers parallels pools: one consecutive-failure breaker per
+	// engine kind, fed by panics and internal errors on that engine.
+	breakers map[string]*resil.Breaker
+	fallback map[string]string
 	// dist pools the O(|V|) Dijkstra state for /dist requests.
-	dist         sync.Pool
-	poolSize     int
-	queryTimeout time.Duration
-	started      time.Time
+	dist             sync.Pool
+	poolSize         int
+	limits           core.PoolLimits
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	retryAfter       time.Duration
+	queryTimeout     time.Duration
+	started          time.Time
+	// draining flips once graceful shutdown begins; /health, /healthz
+	// and /readyz answer 503 from then on so load balancers stop routing
+	// to a dying server.
+	draining atomic.Bool
 }
 
 // New builds a server over g.
 func New(g *graph.Graph, opts Options) (*Server, error) {
 	s := &Server{
-		g:            g,
-		pools:        map[string]*core.EnginePool{},
-		poolSize:     opts.PoolSize,
-		queryTimeout: opts.QueryTimeout,
-		started:      time.Now(),
+		g:                g,
+		pools:            map[string]*core.EnginePool{},
+		breakers:         map[string]*resil.Breaker{},
+		fallback:         map[string]string{},
+		poolSize:         opts.PoolSize,
+		limits:           core.PoolLimits{MaxInFlight: opts.MaxInFlight, QueueDepth: opts.QueueDepth},
+		breakerThreshold: opts.BreakerThreshold,
+		breakerCooldown:  opts.BreakerCooldown,
+		retryAfter:       opts.RetryAfter,
+		queryTimeout:     opts.QueryTimeout,
+		started:          time.Now(),
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = time.Second
+	}
+	for from, to := range opts.Fallback {
+		s.fallback[from] = to
 	}
 	s.dist.New = func() any { return sp.NewDijkstra(g) }
 	reg := func(name string, factory core.EngineFactory) {
-		s.pools[name] = core.NewEnginePool(name, s.poolSize, factory)
+		s.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, factory)
+		s.breakers[name] = s.newBreaker()
 	}
 	reg("INE", func() core.GPhi { return core.NewINE(g) })
 	reg("A*", func() core.GPhi { return core.NewOracleGPhi("A*", sp.NewAStar(g)) })
@@ -106,19 +161,37 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 	return s, nil
 }
 
+// poolCapacity is the free-list bound for every engine pool. With
+// admission enabled it is at least MaxInFlight, so every released engine
+// is retained and the factory builds at most MaxInFlight engines total —
+// the invariant the overload hammer test pins.
+func (s *Server) poolCapacity() int {
+	if s.limits.MaxInFlight > s.poolSize {
+		return s.limits.MaxInFlight
+	}
+	return s.poolSize
+}
+
+// newBreaker builds one engine's circuit breaker from the server
+// options (disabled when BreakerThreshold is 0).
+func (s *Server) newBreaker() *resil.Breaker {
+	return resil.NewBreaker(s.breakerThreshold, s.breakerCooldown)
+}
+
 // addIER registers an IER engine pool after verifying construction works
 // (surfacing e.g. missing coordinates at startup instead of per request).
 func (s *Server) addIER(name string, oracle func() core.Oracle) error {
 	if _, err := core.NewIERGPhi(name, s.g, oracle()); err != nil {
 		return err
 	}
-	s.pools[name] = core.NewEnginePool(name, s.poolSize, func() core.GPhi {
+	s.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, func() core.GPhi {
 		gp, err := core.NewIERGPhi(name, s.g, oracle())
 		if err != nil {
 			panic(err) // verified above; cannot fail
 		}
 		return gp
 	})
+	s.breakers[name] = s.newBreaker()
 	return nil
 }
 
@@ -139,9 +212,56 @@ func (s *Server) AddEngine(name string, factory core.EngineFactory) error {
 	if _, dup := s.pools[name]; dup {
 		return fmt.Errorf("server: engine %q already registered", name)
 	}
-	s.pools[name] = core.NewEnginePool(name, s.poolSize, factory)
+	s.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, factory)
+	s.breakers[name] = s.newBreaker()
 	return nil
 }
+
+// Engines lists the registered engine names, sorted. Callers wiring a
+// fallback ladder can validate it against this set before serving.
+func (s *Server) Engines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.pools))
+	for name := range s.pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetFallback replaces the fallback ladder. Every edge must point
+// between registered engines; like AddEngine it is rejected once
+// Handler has frozen the server.
+func (s *Server) SetFallback(ladder map[string]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return errors.New("server: SetFallback after Handler — configuration is frozen once serving starts")
+	}
+	for from, to := range ladder {
+		if _, ok := s.pools[from]; !ok {
+			return fmt.Errorf("server: fallback source %q is not a registered engine", from)
+		}
+		if _, ok := s.pools[to]; !ok {
+			return fmt.Errorf("server: fallback target %q is not a registered engine", to)
+		}
+	}
+	s.fallback = map[string]string{}
+	for from, to := range ladder {
+		s.fallback[from] = to
+	}
+	return nil
+}
+
+// BeginDrain marks the server as draining: /health, /healthz and
+// /readyz answer 503 from now on, so load balancers route new traffic
+// elsewhere while in-flight requests finish. Call it when graceful
+// shutdown starts; it is idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the HTTP routes and freezes engine registration. Every
 // route runs behind panic recovery: a panicking handler answers 500 with
@@ -153,7 +273,9 @@ func (s *Server) Handler() http.Handler {
 	s.frozen = true
 	s.mu.Unlock()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /health", s.handleHealthz) // legacy alias of /healthz
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /meta", s.handleMeta)
 	mux.HandleFunc("POST /fann", s.handleFANN)
 	mux.HandleFunc("POST /dist", s.handleDist)
@@ -181,7 +303,8 @@ func recoverPanics(next http.Handler) http.Handler {
 
 // ErrorResponse is the stable JSON error shape every non-2xx response
 // carries. Code is machine-readable and maps 1:1 to the HTTP status:
-// "invalid" (400), "not_found" (404), "too_large" (413), "timeout" (504),
+// "invalid" (400), "not_found" (404), "too_large" (413),
+// "overloaded" (503, with a Retry-After header), "timeout" (504),
 // "internal" (500).
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -191,9 +314,10 @@ type ErrorResponse struct {
 // errStatus classifies an error into its HTTP status and stable code.
 // The taxonomy: malformed or semantically invalid requests are the
 // client's fault (400/413); a well-formed query with no answer is 404; a
-// query that outlived its deadline or its client is 504; everything
-// unexpected — including handler panics — is a 500, never blamed on the
-// client.
+// request shed by admission control or an open breaker is 503, the one
+// retryable server-fault class; a query that outlived its deadline or
+// its client is 504; everything unexpected — including handler panics —
+// is a 500, never blamed on the client.
 func errStatus(err error) (int, string) {
 	var tooBig *http.MaxBytesError
 	switch {
@@ -203,6 +327,8 @@ func errStatus(err error) (int, string) {
 		return http.StatusBadRequest, "invalid"
 	case errors.Is(err, core.ErrNoResult):
 		return http.StatusNotFound, "not_found"
+	case errors.Is(err, core.ErrSaturated):
+		return http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, core.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
@@ -224,35 +350,86 @@ func fail(w http.ResponseWriter, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }
 
+// shed answers 503 "overloaded" with the server's Retry-After hint — the
+// load-shedding response for saturated pools and fully-open ladders.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	secs := int(s.retryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: "overloaded"})
+}
+
 // invalidf builds a client-fault error (maps to 400).
 func invalidf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", core.ErrInvalid, fmt.Sprintf(format, args...))
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// handleHealthz is liveness (also served as the legacy /health): 200
+// while the process should keep receiving traffic, 503 once graceful
+// drain begins so load balancers stop routing to a dying server.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+			"uptime": time.Since(s.started).String(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"uptime": time.Since(s.started).String(),
 	})
 }
 
+// handleReadyz is readiness: 503 while draining or while any engine's
+// breaker is open (the server answers, but degraded), naming the broken
+// pools so operators see which engine tripped.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	open := map[string]string{}
+	for name, b := range s.breakers {
+		if st := b.State(); st != resil.Closed {
+			open[name] = st.String()
+		}
+	}
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "breakers": open,
+		})
+	case len(open) > 0:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "breakers": open,
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
+}
+
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 	names := make([]string, 0, len(s.pools))
-	poolStats := make(map[string]map[string]int64, len(s.pools))
+	poolStats := make(map[string]map[string]any, len(s.pools))
 	for name, p := range s.pools {
 		names = append(names, name)
 		created, reused, idle := p.Stats()
-		poolStats[name] = map[string]int64{
-			"created": created, "reused": reused, "idle": int64(idle),
+		inflight, queued, shed := p.Gauges()
+		poolStats[name] = map[string]any{
+			"created": created, "reused": reused, "idle": idle,
+			"inflight": inflight, "queued": queued, "shed": shed,
+			"breaker": s.breakers[name].State().String(),
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": s.g.Name(),
-		"nodes":   s.g.NumNodes(),
-		"edges":   s.g.NumEdges(),
-		"coords":  s.g.HasCoords(),
-		"engines": names,
-		"pools":   poolStats,
+		"dataset":  s.g.Name(),
+		"nodes":    s.g.NumNodes(),
+		"edges":    s.g.NumEdges(),
+		"coords":   s.g.HasCoords(),
+		"engines":  names,
+		"pools":    poolStats,
+		"limits":   map[string]int{"max_inflight": s.limits.MaxInFlight, "queue_depth": s.limits.QueueDepth},
+		"fallback": s.fallback,
+		"draining": s.draining.Load(),
 	})
 }
 
@@ -274,10 +451,15 @@ type FANNAnswer struct {
 	Subset []graph.NodeID `json:"subset"`
 }
 
-// FANNResponse is the /fann response body.
+// FANNResponse is the /fann response body. Engine is the pool that
+// actually answered; Degraded is set when that differs from the
+// requested engine because its breaker was open and the fallback ladder
+// was followed.
 type FANNResponse struct {
-	Answers []FANNAnswer `json:"answers"`
-	Micros  int64        `json:"micros"`
+	Answers  []FANNAnswer `json:"answers"`
+	Micros   int64        `json:"micros"`
+	Engine   string       `json:"engine"`
+	Degraded bool         `json:"degraded,omitempty"`
 }
 
 // maxFANNBody bounds the /fann request body (point sets can be large but
@@ -314,36 +496,59 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	if engineName == "" {
 		engineName = "INE"
 	}
-	pool, ok := s.pools[engineName]
-	if !ok {
+	if _, ok := s.pools[engineName]; !ok {
 		fail(w, invalidf("unknown engine %q (see /meta)", engineName))
 		return
 	}
 
 	// The query lifecycle is bounded by the request: the context ends when
 	// the client disconnects, and -query-timeout adds a server-side
-	// deadline on top. The Cancel hook polls an atomic the context watcher
-	// flips, so every algorithm aborts at its next loop boundary.
+	// deadline on top — covering the admission queue wait as well as the
+	// compute. The Cancel hook polls an atomic the context watcher flips,
+	// so every algorithm aborts at its next loop boundary.
 	ctx := r.Context()
 	if s.queryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
 		defer cancel()
 	}
+
+	// Walk the breaker/fallback ladder to the engine that will serve.
+	served, degraded, ok := s.routeEngine(engineName)
+	if !ok {
+		s.shed(w, fmt.Errorf("engine %q unavailable: breaker open and no closed fallback", engineName))
+		return
+	}
+	pool, breaker := s.pools[served], s.breakers[served]
+
+	// Bounded admission: wait in the pool's queue up to the deadline;
+	// saturation beyond the queue sheds with 503 + Retry-After.
+	gp, err := pool.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, core.ErrSaturated) {
+			s.shed(w, err)
+			return
+		}
+		fail(w, err)
+		return
+	}
+
 	stop := q.BindContext(ctx)
 	defer stop()
 
 	start := time.Now()
 	var answers []core.Answer
-	var err error
-	gp := pool.Get()
 	completed := false
 	defer func() {
-		// On panic the engine's internal state is suspect: drop it for the
-		// GC instead of poisoning the free list; recoverPanics answers 500.
 		if completed {
-			pool.Put(gp)
+			pool.Release(gp)
+			return
 		}
+		// On panic the engine's internal state is suspect: drop it for the
+		// GC instead of poisoning the free list (recoverPanics answers
+		// 500), and feed the breaker so repeated blowups open it.
+		pool.Discard()
+		breaker.Failure()
 	}()
 	answers, err = s.dispatch(req.Algo, gp, q, req.K)
 	completed = true
@@ -357,14 +562,43 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 				err = fmt.Errorf("%w: %w", err, ctxErr)
 			}
 		}
+		// Client-fault and no-result outcomes prove the engine worked;
+		// internal errors count against it. Timeouts prove nothing.
+		switch status, _ := errStatus(err); status {
+		case http.StatusInternalServerError:
+			breaker.Failure()
+		case http.StatusBadRequest, http.StatusNotFound:
+			breaker.Success()
+		}
 		fail(w, err)
 		return
 	}
-	resp := FANNResponse{Micros: elapsed.Microseconds()}
+	breaker.Success()
+	resp := FANNResponse{Micros: elapsed.Microseconds(), Engine: served, Degraded: degraded}
 	for _, a := range answers {
 		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeEngine resolves which pool serves a request for requested: the
+// engine itself while its breaker admits, otherwise the first engine
+// down the fallback ladder whose breaker does. A half-open breaker
+// admits exactly one caller — the recovery probe. ok is false when the
+// ladder ends with every breaker open.
+func (s *Server) routeEngine(requested string) (served string, degraded bool, ok bool) {
+	name := requested
+	for hops := 0; hops <= len(s.pools); hops++ {
+		if _, exists := s.pools[name]; exists && s.breakers[name].Allow() {
+			return name, name != requested, true
+		}
+		next, has := s.fallback[name]
+		if !has {
+			return "", false, false
+		}
+		name = next
+	}
+	return "", false, false
 }
 
 // decodeErr classifies a request-body decoding failure: an oversized body
