@@ -47,7 +47,7 @@ fuzz-smoke:
 ## trips, fallback, and recovery — all under the race detector.
 chaos:
 	$(GO) test -race -v ./internal/resil/
-	$(GO) test -race -v -run 'Overload|Drain|Chaos|Ladder|Saturat|Bounded' \
+	$(GO) test -race -v -run 'Overload|Drain|Chaos|Ladder|Saturat|Bounded|Probe|Admission|FactoryPanic' \
 		./internal/server/ ./internal/core/
 
 verify: build test vet race

@@ -131,6 +131,11 @@ func atomicWrite(name string, build func(w io.Writer) (int64, error)) (int64, er
 	if err := tmp.Sync(); err != nil {
 		return 0, err
 	}
+	// os.CreateTemp creates the file 0600; publish the index readable by
+	// other users and services, as a direct os.Create would have.
+	if err := tmp.Chmod(0o644); err != nil {
+		return 0, err
+	}
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}

@@ -3,15 +3,14 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync/atomic"
 )
 
-// ErrSaturated is returned by EnginePool.Acquire when the pool is at its
-// in-flight cap and its wait queue is full: the request is shed rather
-// than queued. The HTTP server maps it to 503 "overloaded" with a
-// Retry-After hint.
+// ErrSaturated is returned by Gate.Acquire (and so EnginePool.Acquire)
+// when the gate is at its in-flight cap and its wait queue is full: the
+// request is shed rather than queued. The HTTP server maps it to 503
+// "overloaded" with a Retry-After hint.
 var ErrSaturated = errors.New("fannr: engine pool saturated")
 
 // PoolLimits bounds admission into an EnginePool. The cap turns a
@@ -56,14 +55,9 @@ type EnginePool struct {
 	created atomic.Int64
 	reused  atomic.Int64
 
-	// Admission control (nil sem = unbounded, the legacy shape): sem
-	// holds one token per in-flight checkout, queueDepth bounds how many
-	// Acquire callers may block waiting for a token.
-	sem        chan struct{}
-	queueDepth int
-	inflight   atomic.Int64
-	queued     atomic.Int64
-	shed       atomic.Int64
+	// gate enforces admission for Acquire/Release/Discard; an unbounded
+	// pool's gate admits everyone (the legacy shape).
+	gate *Gate
 }
 
 // NewEnginePool returns a pool producing engines from factory. capacity
@@ -85,16 +79,12 @@ func NewBoundedEnginePool(name string, capacity int, limits PoolLimits, factory 
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
 	}
-	p := &EnginePool{
-		name:       name,
-		factory:    factory,
-		free:       make(chan GPhi, capacity),
-		queueDepth: max(limits.QueueDepth, 0),
+	return &EnginePool{
+		name:    name,
+		factory: factory,
+		free:    make(chan GPhi, capacity),
+		gate:    NewGate(name, limits),
 	}
-	if limits.MaxInFlight > 0 {
-		p.sem = make(chan struct{}, limits.MaxInFlight)
-	}
-	return p
 }
 
 // Name identifies the pool's engine ("INE", "PHL", ...).
@@ -131,7 +121,7 @@ func (p *EnginePool) Put(gp GPhi) {
 
 // Limits reports the admission bounds (zero MaxInFlight = unbounded).
 func (p *EnginePool) Limits() PoolLimits {
-	return PoolLimits{MaxInFlight: cap(p.sem), QueueDepth: p.queueDepth}
+	return p.gate.Limits()
 }
 
 // Acquire checks an engine out under admission control. When the pool is
@@ -142,32 +132,20 @@ func (p *EnginePool) Limits() PoolLimits {
 // success with exactly one Release or Discard. An unbounded pool only
 // checks ctx and delegates to Get.
 func (p *EnginePool) Acquire(ctx context.Context) (GPhi, error) {
-	if err := ctx.Err(); err != nil {
+	if err := p.gate.Acquire(ctx); err != nil {
 		return nil, err
 	}
-	if p.sem != nil {
-		select {
-		case p.sem <- struct{}{}:
-		default:
-			// Cap reached: join the bounded wait queue or shed. The
-			// counter reserves the queue slot atomically, so a burst
-			// cannot overshoot the depth.
-			if p.queued.Add(1) > int64(p.queueDepth) {
-				p.queued.Add(-1)
-				p.shed.Add(1)
-				return nil, fmt.Errorf("%w: %q at %d in-flight, %d queued",
-					ErrSaturated, p.name, cap(p.sem), p.queueDepth)
-			}
-			select {
-			case p.sem <- struct{}{}:
-				p.queued.Add(-1)
-			case <-ctx.Done():
-				p.queued.Add(-1)
-				return nil, ctx.Err()
-			}
+	// The factory runs under the admission token. If it panics, the
+	// token must be released before unwinding: the caller pairs its
+	// Release/Discard defer with a *returned* engine, so a leak here
+	// would permanently shrink MaxInFlight on every occurrence until
+	// the pool deadlocks.
+	defer func() {
+		if r := recover(); r != nil {
+			p.gate.Release()
+			panic(r)
 		}
-	}
-	p.inflight.Add(1)
+	}()
 	return p.Get(), nil
 }
 
@@ -176,20 +154,14 @@ func (p *EnginePool) Acquire(ctx context.Context) (GPhi, error) {
 // freed, waking one queued Acquire if any.
 func (p *EnginePool) Release(gp GPhi) {
 	p.Put(gp)
-	p.inflight.Add(-1)
-	if p.sem != nil {
-		<-p.sem
-	}
+	p.gate.Release()
 }
 
 // Discard frees the admission slot of an acquired engine without
 // repooling it — the drop-on-panic path, where the engine's internal
 // state is suspect and must go to the GC.
 func (p *EnginePool) Discard() {
-	p.inflight.Add(-1)
-	if p.sem != nil {
-		<-p.sem
-	}
+	p.gate.Release()
 }
 
 // Stats reports pool activity: engines built by the factory, checkouts
@@ -202,7 +174,7 @@ func (p *EnginePool) Stats() (created, reused int64, idle int) {
 // flight, Acquire callers currently waiting, and requests shed with
 // ErrSaturated since construction.
 func (p *EnginePool) Gauges() (inflight, queued, shed int64) {
-	return p.inflight.Load(), p.queued.Load(), p.shed.Load()
+	return p.gate.Gauges()
 }
 
 // With checks out an engine, runs f, and returns the engine even when f

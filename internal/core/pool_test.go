@@ -343,6 +343,46 @@ func TestBoundedPoolCapsEngineBuilds(t *testing.T) {
 		admitted.Load(), shedCount.Load(), peak.Load(), func() int64 { c, _, _ := p.Stats(); return c }())
 }
 
+// TestAcquireFactoryPanicReleasesSlot pins that a factory panic inside
+// Acquire does not leak the admission token or the inflight gauge: the
+// caller's Discard defer only exists after Acquire returns, so without
+// the in-Acquire release every factory panic would permanently shrink
+// MaxInFlight until the pool deadlocks.
+func TestAcquireFactoryPanicReleasesSlot(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 60, Seed: 2, Name: "fpanic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := true
+	p := NewBoundedEnginePool("INE", 1, PoolLimits{MaxInFlight: 1},
+		func() GPhi {
+			if boom {
+				boom = false
+				panic("factory boom")
+			}
+			return NewINE(g)
+		})
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Acquire swallowed the factory panic")
+			}
+		}()
+		_, _ = p.Acquire(context.Background())
+	}()
+
+	if inflight, _, _ := p.Gauges(); inflight != 0 {
+		t.Fatalf("inflight %d after factory panic, want 0", inflight)
+	}
+	// With QueueDepth 0, a leaked token would make this shed immediately.
+	gp, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after factory panic: %v — admission slot leaked", err)
+	}
+	p.Release(gp)
+}
+
 // TestUnboundedAcquireDelegates pins that a plain NewEnginePool still
 // admits everything (legacy shape) while tracking the in-flight gauge.
 func TestUnboundedAcquireDelegates(t *testing.T) {

@@ -66,12 +66,27 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 // Enabled reports whether the breaker counts failures at all.
 func (b *Breaker) Enabled() bool { return b != nil && b.threshold > 0 }
 
-// Allow reports whether a call may proceed. In Open state it flips to
+// Allow reports whether a call may proceed — Admit without the probe
+// flag, for callers that report every outcome unconditionally.
+func (b *Breaker) Allow() bool {
+	ok, _ := b.Admit()
+	return ok
+}
+
+// Admit reports whether a call may proceed and whether that caller was
+// admitted as the half-open recovery probe. In Open state it flips to
 // HalfOpen once the cooldown has elapsed, admitting that caller as the
 // single probe; further callers are rejected until the probe reports.
-func (b *Breaker) Allow() bool {
+//
+// A probe caller MUST eventually call Success or Failure: until one of
+// them runs the breaker stays HalfOpen and admits nobody, so a probe
+// that vanishes without a verdict (shed, canceled, timed out) wedges
+// the circuit permanently. Callers with outcome paths that record
+// nothing must treat an unreported probe as a Failure — a probe that
+// could not finish is not evidence of recovery.
+func (b *Breaker) Admit() (ok, probe bool) {
 	if !b.Enabled() {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -79,13 +94,13 @@ func (b *Breaker) Allow() bool {
 	case Open:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	case HalfOpen:
-		return false
+		return false, false
 	default:
-		return true
+		return true, false
 	}
 }
 

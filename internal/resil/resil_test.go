@@ -88,6 +88,48 @@ func TestBreakerCycle(t *testing.T) {
 	}
 }
 
+// TestBreakerAdmitProbe pins the probe flag: Admit marks exactly the
+// caller that flips Open → HalfOpen, closed-state admissions are not
+// probes, and a probe that reports Failure buys a fresh full cooldown
+// before the next probe is marked.
+func TestBreakerAdmitProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(1, 10*time.Second)
+	b.now = clk.now
+
+	if ok, probe := b.Admit(); !ok || probe {
+		t.Fatalf("closed breaker: Admit = (%v, %v), want (true, false)", ok, probe)
+	}
+	b.Failure()
+	if ok, _ := b.Admit(); ok {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clk.advance(11 * time.Second)
+	if ok, probe := b.Admit(); !ok || !probe {
+		t.Fatalf("after cooldown: Admit = (%v, %v), want (true, true)", ok, probe)
+	}
+	if ok, _ := b.Admit(); ok {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+	// A dropped probe reported as Failure re-opens with a fresh cooldown.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	clk.advance(9 * time.Second)
+	if ok, _ := b.Admit(); ok {
+		t.Fatal("re-opened breaker admitted before the fresh cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if ok, probe := b.Admit(); !ok || !probe {
+		t.Fatalf("second probe: Admit = (%v, %v), want (true, true)", ok, probe)
+	}
+	b.Success()
+	if ok, probe := b.Admit(); !ok || probe {
+		t.Fatalf("recovered breaker: Admit = (%v, %v), want (true, false)", ok, probe)
+	}
+}
+
 // TestBreakerDisabled pins that threshold <= 0 (including the zero
 // value) never counts, never opens, never blocks.
 func TestBreakerDisabled(t *testing.T) {

@@ -359,6 +359,162 @@ func TestChaosBreakerFallbackRecovery(t *testing.T) {
 	}
 }
 
+// modalINE switches Dist behavior at runtime: pass-through, panicking,
+// or sleeping per evaluation — enough to walk a breaker through open,
+// a timed-out probe, and recovery deterministically.
+type modalINE struct {
+	core.GPhi
+	mode  *atomic.Int32 // 0 = pass through, 1 = panic, 2 = sleep delay per call
+	delay time.Duration
+}
+
+func (e *modalINE) Dist(p graph.NodeID, k int, agg core.Aggregate) (float64, bool) {
+	switch e.mode.Load() {
+	case 1:
+		panic("modal: injected failure")
+	case 2:
+		time.Sleep(e.delay)
+	}
+	return e.GPhi.Dist(p, k, agg)
+}
+
+// TestHalfOpenProbeDropReopens is the breaker-wedge regression test: a
+// half-open probe that ends without a verdict of its own (here, a 504
+// query timeout — but shed and canceled probes share the path) must
+// re-open the breaker with a fresh cooldown, not leave it half-open
+// forever. A wedged half-open breaker admits nobody, so the engine
+// would never be probed again and could never recover — precisely when
+// it is merely slow rather than broken.
+func TestHalfOpenProbeDropReopens(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 120, Seed: 37, Name: "probe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cooldown = 80 * time.Millisecond
+	srv, err := New(g, Options{
+		BreakerThreshold: 1,
+		BreakerCooldown:  cooldown,
+		QueryTimeout:     40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mode atomic.Int32
+	if err := srv.AddEngine("Flaky", func() core.GPhi {
+		return &modalINE{GPhi: core.NewINE(g), mode: &mode, delay: 25 * time.Millisecond}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetFallback(map[string]string{"Flaky": "INE"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw := []byte(`{"p":[1,20,40,60,80,100],"q":[5,55,105],"phi":0.5,"engine":"Flaky"}`)
+	fann := func() (int, FANNResponse) {
+		t.Helper()
+		resp := postResp(t, ts.URL+"/fann", raw)
+		defer resp.Body.Close()
+		var fr FANNResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, fr
+	}
+
+	// One panic opens the threshold-1 breaker.
+	mode.Store(1)
+	if status, _ := fann(); status != http.StatusInternalServerError {
+		t.Fatalf("panic request: status %d, want 500", status)
+	}
+	if st := srv.breakers["Flaky"].State(); st != resil.Open {
+		t.Fatalf("breaker %v after panic, want open", st)
+	}
+
+	// Cooldown elapses; the probe lands on an engine that is now merely
+	// slow and times out (504) — an outcome the breaker switch records
+	// nothing for.
+	mode.Store(2)
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if status, _ := fann(); status != http.StatusGatewayTimeout {
+		t.Fatalf("slow probe: status %d, want 504", status)
+	}
+	// The dropped probe must have re-opened the breaker, not wedged it
+	// half-open (where it would reject every future probe forever).
+	if st := srv.breakers["Flaky"].State(); st != resil.Open {
+		t.Fatalf("breaker %v after dropped probe, want open (re-armed for the next probe)", st)
+	}
+
+	// The engine heals; the next cooldown's probe must be admitted and
+	// recover the primary. Under the wedge bug this request would be
+	// served degraded from INE instead.
+	mode.Store(0)
+	time.Sleep(cooldown + 20*time.Millisecond)
+	status, fr := fann()
+	if status != http.StatusOK {
+		t.Fatalf("recovery probe: status %d, want 200", status)
+	}
+	if fr.Engine != "Flaky" || fr.Degraded {
+		t.Fatalf("recovery probe served engine=%q degraded=%v, want Flaky non-degraded", fr.Engine, fr.Degraded)
+	}
+	if st := srv.breakers["Flaky"].State(); st != resil.Closed {
+		t.Fatalf("breaker %v after successful probe, want closed", st)
+	}
+}
+
+// TestDistAdmissionSheds pins that /dist sits behind the same bounded
+// admission as /fann: with its gate saturated the endpoint sheds with
+// 503 "overloaded" + Retry-After instead of allocating another O(|V|)
+// Dijkstra, and the shed shows up on /meta.
+func TestDistAdmissionSheds(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 80, Seed: 41, Name: "distadm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Options{MaxInFlight: 1, QueueDepth: 0, RetryAfter: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Occupy the single /dist slot, as a stuck in-flight request would.
+	if err := srv.distGate.Acquire(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp := postResp(t, ts.URL+"/dist", []byte(`{"u":0,"v":1}`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /dist: status %d, want 503", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Code != "overloaded" {
+		t.Fatalf("503 body %+v (err %v), want code overloaded", e, err)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+	resp.Body.Close()
+
+	srv.distGate.Release()
+	resp = postResp(t, ts.URL+"/dist", []byte(`{"u":0,"v":1}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/dist after release: status %d, want 200", resp.StatusCode)
+	}
+
+	status, meta := getJSON(t, ts.URL+"/meta")
+	if status != http.StatusOK {
+		t.Fatalf("/meta status %d", status)
+	}
+	dist, _ := meta["dist"].(map[string]any)
+	if dist["shed"] != float64(1) || dist["inflight"] != float64(0) {
+		t.Fatalf("/meta dist gauges %v, want shed=1 inflight=0", dist)
+	}
+}
+
 // TestLadderExhaustedSheds pins the end of the ladder: when the
 // requested engine's breaker is open and it has no fallback (or the
 // chain dead-ends), the server sheds with 503 + Retry-After rather than

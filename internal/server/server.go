@@ -94,8 +94,12 @@ type Server struct {
 	// engine kind, fed by panics and internal errors on that engine.
 	breakers map[string]*resil.Breaker
 	fallback map[string]string
-	// dist pools the O(|V|) Dijkstra state for /dist requests.
+	// dist pools the O(|V|) Dijkstra state for /dist requests; distGate
+	// bounds how many may be in use at once with the same limits as the
+	// engine pools, so a /dist burst sheds instead of allocating without
+	// bound.
 	dist             sync.Pool
+	distGate         *core.Gate
 	poolSize         int
 	limits           core.PoolLimits
 	breakerThreshold int
@@ -131,6 +135,7 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 		s.fallback[from] = to
 	}
 	s.dist.New = func() any { return sp.NewDijkstra(g) }
+	s.distGate = core.NewGate("dist", s.limits)
 	reg := func(name string, factory core.EngineFactory) {
 		s.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, factory)
 		s.breakers[name] = s.newBreaker()
@@ -420,13 +425,17 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 			"breaker": s.breakers[name].State().String(),
 		}
 	}
+	distInflight, distQueued, distShed := s.distGate.Gauges()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":  s.g.Name(),
-		"nodes":    s.g.NumNodes(),
-		"edges":    s.g.NumEdges(),
-		"coords":   s.g.HasCoords(),
-		"engines":  names,
-		"pools":    poolStats,
+		"dataset": s.g.Name(),
+		"nodes":   s.g.NumNodes(),
+		"edges":   s.g.NumEdges(),
+		"coords":  s.g.HasCoords(),
+		"engines": names,
+		"pools":   poolStats,
+		"dist": map[string]any{
+			"inflight": distInflight, "queued": distQueued, "shed": distShed,
+		},
 		"limits":   map[string]int{"max_inflight": s.limits.MaxInFlight, "queue_depth": s.limits.QueueDepth},
 		"fallback": s.fallback,
 		"draining": s.draining.Load(),
@@ -514,12 +523,35 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Walk the breaker/fallback ladder to the engine that will serve.
-	served, degraded, ok := s.routeEngine(engineName)
+	served, degraded, probe, ok := s.routeEngine(engineName)
 	if !ok {
 		s.shed(w, fmt.Errorf("engine %q unavailable: breaker open and no closed fallback", engineName))
 		return
 	}
 	pool, breaker := s.pools[served], s.breakers[served]
+
+	// Every breaker verdict goes through report, which remembers that one
+	// was recorded. A half-open probe MUST report — until it does the
+	// breaker admits nobody — but several paths below return without a
+	// verdict of their own (shed, queue timeout, canceled dispatch:
+	// "timeouts prove nothing"). For a probe those silences would wedge
+	// the circuit half-open forever, so the deferred guard converts an
+	// unreported probe into a Failure: it re-opens with a fresh cooldown,
+	// and a probe that could not finish is indeed no evidence of recovery.
+	reported := false
+	report := func(healthy bool) {
+		reported = true
+		if healthy {
+			breaker.Success()
+		} else {
+			breaker.Failure()
+		}
+	}
+	defer func() {
+		if probe && !reported {
+			breaker.Failure()
+		}
+	}()
 
 	// Bounded admission: wait in the pool's queue up to the deadline;
 	// saturation beyond the queue sheds with 503 + Retry-After.
@@ -548,7 +580,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		// GC instead of poisoning the free list (recoverPanics answers
 		// 500), and feed the breaker so repeated blowups open it.
 		pool.Discard()
-		breaker.Failure()
+		report(false)
 	}()
 	answers, err = s.dispatch(req.Algo, gp, q, req.K)
 	completed = true
@@ -563,17 +595,18 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		// Client-fault and no-result outcomes prove the engine worked;
-		// internal errors count against it. Timeouts prove nothing.
+		// internal errors count against it. Timeouts prove nothing —
+		// except for a probe, which the deferred guard above fails.
 		switch status, _ := errStatus(err); status {
 		case http.StatusInternalServerError:
-			breaker.Failure()
+			report(false)
 		case http.StatusBadRequest, http.StatusNotFound:
-			breaker.Success()
+			report(true)
 		}
 		fail(w, err)
 		return
 	}
-	breaker.Success()
+	report(true)
 	resp := FANNResponse{Micros: elapsed.Microseconds(), Engine: served, Degraded: degraded}
 	for _, a := range answers {
 		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
@@ -584,21 +617,25 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 // routeEngine resolves which pool serves a request for requested: the
 // engine itself while its breaker admits, otherwise the first engine
 // down the fallback ladder whose breaker does. A half-open breaker
-// admits exactly one caller — the recovery probe. ok is false when the
-// ladder ends with every breaker open.
-func (s *Server) routeEngine(requested string) (served string, degraded bool, ok bool) {
+// admits exactly one caller — the recovery probe, flagged so the
+// handler can guarantee the probe reports an outcome no matter how the
+// request ends. ok is false when the ladder ends with every breaker
+// open.
+func (s *Server) routeEngine(requested string) (served string, degraded, probe, ok bool) {
 	name := requested
 	for hops := 0; hops <= len(s.pools); hops++ {
-		if _, exists := s.pools[name]; exists && s.breakers[name].Allow() {
-			return name, name != requested, true
+		if _, exists := s.pools[name]; exists {
+			if admitted, isProbe := s.breakers[name].Admit(); admitted {
+				return name, name != requested, isProbe, true
+			}
 		}
 		next, has := s.fallback[name]
 		if !has {
-			return "", false, false
+			return "", false, false, false
 		}
 		name = next
 	}
-	return "", false, false
+	return "", false, false, false
 }
 
 // decodeErr classifies a request-body decoding failure: an oversized body
@@ -671,10 +708,19 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 		fail(w, invalidf("node ids outside [0,%d)", n))
 		return
 	}
-	if err := r.Context().Err(); err != nil {
+	// /dist draws the same O(|V|) class of scratch as /fann (a pooled
+	// Dijkstra per in-flight request), so it sits behind its own
+	// admission gate with the engine-pool limits: saturation sheds with
+	// 503 + Retry-After instead of growing the sync.Pool without bound.
+	if err := s.distGate.Acquire(r.Context()); err != nil {
+		if errors.Is(err, core.ErrSaturated) {
+			s.shed(w, err)
+			return
+		}
 		fail(w, err)
 		return
 	}
+	defer s.distGate.Release()
 	d := s.dist.Get().(*sp.Dijkstra)
 	dist := d.Dist(req.U, req.V)
 	s.dist.Put(d)
