@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build
+.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-overhead
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -24,7 +24,8 @@ vet:
 race:
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
 		./internal/resil/... ./internal/gtree/... ./internal/ch/... \
-		./internal/par/... ./internal/workload/... ./internal/difftest/...
+		./internal/par/... ./internal/workload/... ./internal/difftest/... \
+		./internal/obs/...
 
 ## Race detector over everything, full-size tests (slow).
 race-full:
@@ -47,7 +48,7 @@ fuzz-smoke:
 ## trips, fallback, and recovery — all under the race detector.
 chaos:
 	$(GO) test -race -v ./internal/resil/
-	$(GO) test -race -v -run 'Overload|Drain|Chaos|Ladder|Saturat|Bounded|Probe|Admission|FactoryPanic' \
+	$(GO) test -race -v -run 'Overload|Drain|Chaos|Ladder|Saturat|Bounded|Probe|Admission|FactoryPanic|Metrics' \
 		./internal/server/ ./internal/core/
 
 verify: build test vet race
@@ -61,3 +62,13 @@ bench-server:
 ## Parallel index-construction speedup.
 bench-build:
 	$(GO) test -run - -bench BuildWorkers -benchtime 1x ./internal/gtree/ ./internal/ch/
+
+## Machine-readable benchmark trajectory (latency quantiles + op counts
+## for the headline algorithms); BENCH_PR4.json is the checked-in run.
+bench-json:
+	$(GO) run ./cmd/fannr-bench -json BENCH_PR4.json
+
+## Observability overhead guard: GD with the Stats hook disabled (nil
+## pointer tests only) vs. enabled. The disabled column is the §11 budget.
+bench-overhead:
+	$(GO) test -run - -bench 'GDStats' -benchtime 1000x ./internal/core/

@@ -6,10 +6,12 @@
 //
 //	fannr-bench -exp fig4a
 //	fannr-bench -exp all -scale 0.015625 -queries 4
+//	fannr-bench -json BENCH_PR4.json
 //	fannr-bench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,7 @@ func main() {
 		budget  = flag.Int64("phl-budget", 0, "hub-label entry budget (0 = default)")
 		csvDir  = flag.String("csv", "", "also write one CSV per table into this directory")
 		chart   = flag.Bool("chart", false, "render ASCII charts after each table")
+		jsonOut = flag.String("json", "", "write a machine-readable benchmark report (latency quantiles + op counts) to this file and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -39,10 +42,6 @@ func main() {
 		}
 		return
 	}
-	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list)")
-		os.Exit(2)
-	}
 	cfg := fannr.ExpConfig{
 		Dataset:   *dataset,
 		Scale:     *scale,
@@ -50,6 +49,17 @@ func main() {
 		Seed:      *seed,
 		Timeout:   *timeout,
 		PHLBudget: *budget,
+	}
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fannr-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, or -json)")
+		os.Exit(2)
 	}
 	ids := []string{*expID}
 	if *expID == "all" {
@@ -78,6 +88,24 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeBenchJSON runs the headline benchmark set and writes the report.
+func writeBenchJSON(path string, cfg fannr.ExpConfig) error {
+	start := time.Now()
+	report, err := fannr.RunBenchJSON(cfg)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[bench report written to %s in %s]\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func writeCSV(dir string, tbl *fannr.ExpTable) error {

@@ -10,9 +10,16 @@
 //	GET  /healthz  liveness: 200 while the process serves, 503 once draining
 //	GET  /readyz   readiness: 503 while draining or any circuit breaker is open
 //	GET  /meta     dataset, engines, per-pool gauges, limits, fallback ladder
+//	GET  /metrics  Prometheus text exposition (request/compute histograms,
+//	               op counters, pool gauges, breaker states)
 //	POST /fann     {"p":[...],"q":[...],"phi":0.5,"agg":"max","algo":"ier",
 //	               "engine":"IER-PHL","k":1}
 //	POST /dist     {"u":1,"v":2}
+//
+// With -pprof, net/http/pprof is mounted under /debug/pprof/. With -log,
+// every /fann request emits one structured JSON log line to stderr
+// (request id, engine, outcome, stage timings, op counts); the
+// X-Request-ID response header carries the same id either way.
 //
 // Request lifecycle: every /fann query is bounded by -query-timeout and
 // by its client — a disconnect or deadline aborts the search promptly and
@@ -33,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,6 +68,8 @@ type config struct {
 	breakerCooldown  time.Duration
 	retryAfter       time.Duration
 	fallback         string
+	pprof            bool
+	logRequests      bool
 }
 
 func main() {
@@ -77,6 +87,8 @@ func main() {
 	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 	flag.DurationVar(&cfg.retryAfter, "retry-after", time.Second, "Retry-After hint attached to 503 overloaded responses")
 	flag.StringVar(&cfg.fallback, "fallback", "", `breaker fallback ladder, e.g. "PHL=INE,GTree=INE": when the left engine's breaker is open, serve from the right one (degraded)`)
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&cfg.logRequests, "log", false, "emit one structured JSON log line per /fann request to stderr")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-server:", err)
@@ -122,6 +134,10 @@ func run(cfg config) error {
 		BreakerThreshold: cfg.breakerThreshold,
 		BreakerCooldown:  cfg.breakerCooldown,
 		RetryAfter:       cfg.retryAfter,
+		Pprof:            cfg.pprof,
+	}
+	if cfg.logRequests {
+		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	var gtreeIndex *fannr.GTree
 	for _, name := range strings.Split(cfg.engines, ",") {

@@ -329,6 +329,9 @@ type (
 	ExpConfig = exp.Config
 	// ExpTable is a rendered experiment result.
 	ExpTable = exp.Table
+	// BenchReport is the machine-readable trajectory fannr-bench -json
+	// emits: per-algorithm latency quantiles plus operation counts.
+	BenchReport = exp.BenchReport
 )
 
 // RunExperiment regenerates one of the paper's figures or tables by id
@@ -337,3 +340,7 @@ func RunExperiment(id string, cfg ExpConfig) ([]*ExpTable, error) { return exp.R
 
 // ExperimentIDs lists the available experiment ids.
 func ExperimentIDs() []string { return exp.ExperimentIDs() }
+
+// RunBenchJSON measures the headline algorithm set over default-parameter
+// workloads and returns the structured report (fannr-bench -json).
+func RunBenchJSON(cfg ExpConfig) (*BenchReport, error) { return exp.RunBenchJSON(cfg) }

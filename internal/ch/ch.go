@@ -321,7 +321,14 @@ type Querier struct {
 	fd, bd []float64
 	fs, bs []uint32
 	epoch  uint32
+	// nodesScanned counts settled nodes since construction, matching the
+	// sp engines' NodesScanned so observability can attribute CH work.
+	nodesScanned int64
 }
+
+// NodesScanned returns the total number of nodes settled by this querier
+// since construction.
+func (q *Querier) NodesScanned() int64 { return q.nodesScanned }
 
 // NewQuerier returns a querier with scratch sized to the index.
 func (ix *Index) NewQuerier() *Querier {
@@ -364,6 +371,7 @@ func (q *Querier) Dist(u, v graph.NodeID) float64 {
 	step := func(h *pqueue.IndexedHeap, dist []float64, stamp []uint32,
 		odist []float64, ostamp []uint32) {
 		x, dx := h.Pop()
+		q.nodesScanned++
 		if ostamp[x] == q.epoch {
 			if cand := dx + odist[x]; cand < best {
 				best = cand

@@ -28,7 +28,9 @@ func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		if q.canceled() {
 			return Answer{}, ErrCanceled
 		}
-		nb, ok := sp.NewExpander(g, src, pSet).Peek()
+		ex := sp.NewExpander(g, src, pSet)
+		nb, ok := ex.Peek()
+		q.Stats.CountSettled(ex.NodesScanned())
 		if !ok {
 			continue // this query point reaches no data point
 		}
@@ -40,7 +42,7 @@ func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if len(candidates) == 0 {
 		return Answer{}, ErrNoResult
 	}
-	return GD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel})
+	return GD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel, Stats: q.Stats})
 }
 
 // APXSumRatioBound returns the proven worst-case approximation ratio for a

@@ -63,6 +63,12 @@ type Query struct {
 	// promptly. The experiment harness uses this to enforce time budgets
 	// without leaking runaway searches.
 	Cancel func() bool
+	// Stats, when non-nil, accumulates the query's operation counts (g_φ
+	// evaluations, heap pops, pruned candidates, engine settles — see
+	// Stats). Nil disables counting at the cost of a pointer test per
+	// operation; the HTTP server binds one per request and flushes it
+	// into the metrics registry.
+	Stats *Stats
 }
 
 // canceled polls the optional cancel hook.

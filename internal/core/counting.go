@@ -21,6 +21,10 @@ func NewCounting(inner GPhi) *CountingGPhi { return &CountingGPhi{Inner: inner} 
 // Name returns the inner engine's name.
 func (c *CountingGPhi) Name() string { return c.Inner.Name() }
 
+// BindStats forwards per-request stats binding to the inner engine so the
+// wrapper stays transparent to observability.
+func (c *CountingGPhi) BindStats(s *Stats) { BindStats(c.Inner, s) }
+
 // Reset forwards to the inner engine.
 func (c *CountingGPhi) Reset(Q []graph.NodeID) {
 	c.Resets++

@@ -34,9 +34,13 @@ type ineEngine struct {
 	d       *sp.Dijkstra
 	targets *graph.NodeSet
 	buf     []sp.Neighbor
+	stats   *Stats
 }
 
 func (e *ineEngine) Name() string { return "INE" }
+
+// BindStats attributes the engine's Dijkstra settles to s (nil detaches).
+func (e *ineEngine) BindStats(s *Stats) { e.stats = s }
 
 func (e *ineEngine) Reset(Q []graph.NodeID) {
 	e.targets.Reset()
@@ -44,12 +48,16 @@ func (e *ineEngine) Reset(Q []graph.NodeID) {
 }
 
 func (e *ineEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
+	before := e.d.NodesScanned()
 	e.buf = e.d.KNNAmong(p, e.targets, k, e.buf[:0])
+	e.stats.CountSettled(e.d.NodesScanned() - before)
 	return aggSorted(e.buf, k, agg)
 }
 
 func (e *ineEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	before := e.d.NodesScanned()
 	e.buf = e.d.KNNAmong(p, e.targets, k, e.buf[:0])
+	e.stats.CountSettled(e.d.NodesScanned() - before)
 	for _, nb := range e.buf {
 		dst = append(dst, nb.Node)
 	}
@@ -81,14 +89,20 @@ func NewOracleGPhi(name string, o Oracle) GPhi {
 }
 
 type oracleEngine struct {
-	name string
-	o    Oracle
-	q    []graph.NodeID
-	dbuf []float64
-	nbuf []sp.Neighbor
+	name  string
+	o     Oracle
+	q     []graph.NodeID
+	dbuf  []float64
+	nbuf  []sp.Neighbor
+	stats *Stats
 }
 
 func (e *oracleEngine) Name() string { return e.name }
+
+// BindStats attributes the oracle's settles to s when the oracle counts
+// them (A*, bidirectional Dijkstra, ALT and CH do; hub labels answer
+// from tables and settle nothing).
+func (e *oracleEngine) BindStats(s *Stats) { e.stats = s }
 
 func (e *oracleEngine) Reset(Q []graph.NodeID) { e.q = Q }
 
@@ -96,9 +110,16 @@ func (e *oracleEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool
 	if k > len(e.q) {
 		return math.Inf(1), false
 	}
+	before := int64(0)
+	if e.stats != nil {
+		before = scanOf(e.o)
+	}
 	e.dbuf = e.dbuf[:0]
 	for _, q := range e.q {
 		e.dbuf = append(e.dbuf, e.o.Dist(p, q))
+	}
+	if e.stats != nil {
+		e.stats.CountSettled(scanOf(e.o) - before)
 	}
 	d := flexAgg(e.dbuf, k, agg)
 	if math.IsInf(d, 1) {
@@ -108,11 +129,18 @@ func (e *oracleEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool
 }
 
 func (e *oracleEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	before := int64(0)
+	if e.stats != nil {
+		before = scanOf(e.o)
+	}
 	e.nbuf = e.nbuf[:0]
 	for _, q := range e.q {
 		if d := e.o.Dist(p, q); !math.IsInf(d, 1) {
 			e.nbuf = append(e.nbuf, sp.Neighbor{Node: q, Dist: d})
 		}
+	}
+	if e.stats != nil {
+		e.stats.CountSettled(scanOf(e.o) - before)
 	}
 	sort.Slice(e.nbuf, func(i, j int) bool { return e.nbuf[i].Dist < e.nbuf[j].Dist })
 	if k > len(e.nbuf) {
@@ -131,22 +159,29 @@ func NewGTreeGPhi(t *gtree.Tree) GPhi {
 }
 
 type gtreeEngine struct {
-	t    *gtree.Tree
-	q    *gtree.Querier
-	objs *gtree.ObjectSet
-	buf  []sp.Neighbor
+	t     *gtree.Tree
+	q     *gtree.Querier
+	objs  *gtree.ObjectSet
+	buf   []sp.Neighbor
+	stats *Stats
 }
 
 func (e *gtreeEngine) Name() string { return "GTree" }
 
+// BindStats counts each occurrence-list kNN as one index visit; the
+// G-tree querier answers from border matrices and settles no graph nodes.
+func (e *gtreeEngine) BindStats(s *Stats) { e.stats = s }
+
 func (e *gtreeEngine) Reset(Q []graph.NodeID) { e.objs = e.t.NewObjectSet(Q) }
 
 func (e *gtreeEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
+	e.stats.CountVisit()
 	e.buf = e.q.KNN(p, e.objs, k, e.buf[:0])
 	return aggSorted(e.buf, k, agg)
 }
 
 func (e *gtreeEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	e.stats.CountVisit()
 	e.buf = e.q.KNN(p, e.objs, k, e.buf[:0])
 	for _, nb := range e.buf {
 		dst = append(dst, nb.Node)
@@ -173,15 +208,21 @@ func NewIERGPhi(name string, g *graph.Graph, o Oracle) (GPhi, error) {
 }
 
 type ierEngine struct {
-	name string
-	g    *graph.Graph
-	o    Oracle
-	rt   *rtree.Tree
-	best *pqueue.MaxHeap[graph.NodeID]
-	buf  []sp.Neighbor
+	name  string
+	g     *graph.Graph
+	o     Oracle
+	rt    *rtree.Tree
+	best  *pqueue.MaxHeap[graph.NodeID]
+	buf   []sp.Neighbor
+	stats *Stats
 }
 
 func (e *ierEngine) Name() string { return e.name }
+
+// BindStats counts each R-tree candidate surfaced by the incremental
+// Euclidean scan as an index visit, and attributes the inner oracle's
+// settles when that oracle counts them.
+func (e *ierEngine) BindStats(s *Stats) { e.stats = s }
 
 func (e *ierEngine) Reset(Q []graph.NodeID) {
 	pts := make([]rtree.Point, len(Q))
@@ -198,6 +239,10 @@ func (e *ierEngine) kNearest(p graph.NodeID, k int) []sp.Neighbor {
 	px, py := e.g.Coord(p)
 	it := e.rt.IncNN(px, py)
 	e.best.Reset()
+	before := int64(0)
+	if e.stats != nil {
+		before = scanOf(e.o)
+	}
 	for {
 		lb := e.g.ScaleEuclid(it.Peek())
 		if e.best.Len() == k && lb >= e.best.Max().Key {
@@ -207,6 +252,7 @@ func (e *ierEngine) kNearest(p graph.NodeID, k int) []sp.Neighbor {
 		if !ok {
 			break
 		}
+		e.stats.CountVisit()
 		nd := e.o.Dist(p, pt.ID)
 		if math.IsInf(nd, 1) {
 			continue
@@ -217,6 +263,9 @@ func (e *ierEngine) kNearest(p graph.NodeID, k int) []sp.Neighbor {
 			e.best.Pop()
 			e.best.Push(nd, pt.ID)
 		}
+	}
+	if e.stats != nil {
+		e.stats.CountSettled(scanOf(e.o) - before)
 	}
 	e.buf = e.buf[:0]
 	for _, it := range e.best.Items() {

@@ -25,6 +25,9 @@ func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	}
 	k := q.K()
 	pool := newExpanderPool(g, q)
+	if q.Stats != nil {
+		defer func() { q.Stats.CountSettled(pool.settled()) }()
+	}
 	count := make(map[graph.NodeID]int, 64)
 	for {
 		if q.canceled() {
@@ -34,13 +37,16 @@ func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		if !ok {
 			return Answer{}, ErrNoResult
 		}
+		q.Stats.CountPop()
 		count[p]++
 		if count[p] >= k {
 			gp.Reset(q.Q)
+			q.Stats.CountEval()
 			d, ok := gp.Dist(p, k, q.Agg)
 			if !ok {
 				return Answer{}, ErrNoResult
 			}
+			q.Stats.CountSubset()
 			return Answer{P: p, Dist: d, Subset: gp.Subset(p, k, nil)}, nil
 		}
 	}

@@ -21,6 +21,7 @@ func GD(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		if q.canceled() {
 			return Answer{}, ErrCanceled
 		}
+		q.Stats.CountEval()
 		d, ok := gp.Dist(p, k, q.Agg)
 		if ok && d < best.Dist {
 			best.P = p
@@ -30,6 +31,7 @@ func GD(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if best.P < 0 {
 		return Answer{}, ErrNoResult
 	}
+	q.Stats.CountSubset()
 	best.Subset = gp.Subset(best.P, k, nil)
 	return best, nil
 }

@@ -46,6 +46,7 @@ type ierSearch struct {
 	scratch []float64
 	pq      *pqueue.Heap[ierEntry]
 	cancel  func() bool
+	stats   *Stats
 }
 
 type ierEntry struct {
@@ -66,6 +67,7 @@ func newIERSearch(g *graph.Graph, rtP *rtree.Tree, q Query, opts IEROptions) *ie
 		scratch: make([]float64, len(q.Q)),
 		pq:      pqueue.NewHeap[ierEntry](64),
 		cancel:  q.Cancel,
+		stats:   q.Stats,
 	}
 	for i, v := range q.Q {
 		x, y := g.Coord(v)
@@ -123,14 +125,19 @@ func (s *ierSearch) run(kth func() float64, eval func(p graph.NodeID)) error {
 		}
 		top := s.pq.Min()
 		if top.Key >= kth() {
+			// Everything still queued is pruned: its Euclidean lower bound
+			// already exceeds the incumbent, so no g_φ will ever run on it.
+			s.stats.CountPruned(int64(s.pq.Len()))
 			break
 		}
 		s.pq.Pop()
+		s.stats.CountPop()
 		e := top.Value
 		if e.node == nil {
 			eval(e.point)
 			continue
 		}
+		s.stats.CountVisit()
 		if e.node.IsLeaf() {
 			for _, p := range e.node.Points() {
 				s.pq.Push(s.boundPoint(p.X, p.Y), ierEntry{point: p.ID, x: p.X, y: p.Y})
@@ -159,6 +166,7 @@ func IERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, opts IEROptions) 
 	err := s.run(
 		func() float64 { return best.Dist },
 		func(p graph.NodeID) {
+			q.Stats.CountEval()
 			if d, ok := gp.Dist(p, k, q.Agg); ok && d < best.Dist {
 				best.P = p
 				best.Dist = d
@@ -171,6 +179,7 @@ func IERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, opts IEROptions) 
 	if best.P < 0 {
 		return Answer{}, ErrNoResult
 	}
+	q.Stats.CountSubset()
 	best.Subset = gp.Subset(best.P, k, nil)
 	return best, nil
 }

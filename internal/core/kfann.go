@@ -43,13 +43,14 @@ func (t *topK) kth() float64 {
 }
 
 // answers drains the incumbents into ascending order and fills subsets.
-func (t *topK) answers(gp GPhi, kSub int) []Answer {
+func (t *topK) answers(gp GPhi, kSub int, stats *Stats) []Answer {
 	out := make([]Answer, t.h.Len())
 	for i := t.h.Len() - 1; i >= 0; i-- {
 		it := t.h.Pop()
 		out[i] = Answer{P: it.Value, Dist: it.Key}
 	}
 	for i := range out {
+		stats.CountSubset()
 		out[i].Subset = gp.Subset(out[i].P, kSub, nil)
 	}
 	return out
@@ -80,6 +81,7 @@ func KGD(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 		if q.canceled() {
 			return nil, ErrCanceled
 		}
+		q.Stats.CountEval()
 		if d, ok := gp.Dist(p, k, q.Agg); ok {
 			top.offer(p, d)
 		}
@@ -87,7 +89,7 @@ func KGD(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	if top.h.Len() == 0 {
 		return nil, ErrNoResult
 	}
-	return top.answers(gp, k), nil
+	return top.answers(gp, k, q.Stats), nil
 }
 
 // KRList answers a k-FANN_R query with the R-List adaptation: terminate
@@ -99,6 +101,9 @@ func KRList(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	k := q.K()
 	gp.Reset(q.Q)
 	pool := newExpanderPool(g, q)
+	if q.Stats != nil {
+		defer func() { q.Stats.CountSettled(pool.settled()) }()
+	}
 	seen := graph.NewNodeSet(g.NumNodes())
 	top := newTopK(kAns)
 	scratch := make([]float64, 0, len(q.Q))
@@ -113,10 +118,12 @@ func KRList(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 		if !ok {
 			break
 		}
+		q.Stats.CountPop()
 		if seen.Contains(p) {
 			continue
 		}
 		seen.Add(p, 0)
+		q.Stats.CountEval()
 		if d, ok := gp.Dist(p, k, q.Agg); ok {
 			top.offer(p, d)
 		}
@@ -124,7 +131,7 @@ func KRList(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	if top.h.Len() == 0 {
 		return nil, ErrNoResult
 	}
-	return top.answers(gp, k), nil
+	return top.answers(gp, k, q.Stats), nil
 }
 
 // KIERKNN answers a k-FANN_R query with the IER-kNN adaptation: the
@@ -146,6 +153,7 @@ func KIERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, kAns int, opts I
 			return
 		}
 		seen[p] = struct{}{}
+		q.Stats.CountEval()
 		if d, ok := gp.Dist(p, k, q.Agg); ok {
 			top.offer(p, d)
 		}
@@ -155,7 +163,7 @@ func KIERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, kAns int, opts I
 	if top.h.Len() == 0 {
 		return nil, ErrNoResult
 	}
-	return top.answers(gp, k), nil
+	return top.answers(gp, k, q.Stats), nil
 }
 
 // KExactMax answers a k-max-FANN_R query with the Exact-max adaptation:
@@ -170,6 +178,9 @@ func KExactMax(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	}
 	k := q.K()
 	pool := newExpanderPool(g, q)
+	if q.Stats != nil {
+		defer func() { q.Stats.CountSettled(pool.settled()) }()
+	}
 	count := make(map[graph.NodeID]int, 64)
 	winners := make([]graph.NodeID, 0, kAns)
 	for len(winners) < kAns {
@@ -180,6 +191,7 @@ func KExactMax(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 		if !ok {
 			break
 		}
+		q.Stats.CountPop()
 		count[p]++
 		if count[p] == k {
 			winners = append(winners, p)
@@ -191,10 +203,12 @@ func KExactMax(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	gp.Reset(q.Q)
 	out := make([]Answer, 0, len(winners))
 	for _, p := range winners {
+		q.Stats.CountEval()
 		d, ok := gp.Dist(p, k, q.Agg)
 		if !ok {
 			continue
 		}
+		q.Stats.CountSubset()
 		out = append(out, Answer{P: p, Dist: d, Subset: gp.Subset(p, k, nil)})
 	}
 	if len(out) == 0 {

@@ -62,6 +62,16 @@ func (pool *expanderPool) pop() (lane int, p graph.NodeID, dist float64, ok bool
 	return 0, 0, 0, false
 }
 
+// settled sums the nodes settled across every lane — the shortest-path
+// work the expansion spent, attributed to Stats by the algorithms.
+func (pool *expanderPool) settled() int64 {
+	var n int64
+	for _, lane := range pool.lanes {
+		n += lane.NodesScanned()
+	}
+	return n
+}
+
 // threshold computes the paper's early-termination bound τ: any data point
 // not yet surfaced by lane i is at distance ≥ heads[i] from q_i, so its
 // flexible aggregate distance is at least the aggregate of the k smallest
@@ -90,6 +100,9 @@ func RList(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	k := q.K()
 	gp.Reset(q.Q)
 	pool := newExpanderPool(g, q)
+	if q.Stats != nil {
+		defer func() { q.Stats.CountSettled(pool.settled()) }()
+	}
 	seen := graph.NewNodeSet(g.NumNodes())
 	best := Answer{P: -1, Dist: math.Inf(1)}
 	scratch := make([]float64, 0, len(q.Q))
@@ -104,10 +117,12 @@ func RList(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		if !ok {
 			break // every lane exhausted
 		}
+		q.Stats.CountPop()
 		if seen.Contains(p) {
 			continue
 		}
 		seen.Add(p, 0)
+		q.Stats.CountEval()
 		if d, ok := gp.Dist(p, k, q.Agg); ok && d < best.Dist {
 			best.P = p
 			best.Dist = d
@@ -116,6 +131,7 @@ func RList(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if best.P < 0 {
 		return Answer{}, ErrNoResult
 	}
+	q.Stats.CountSubset()
 	best.Subset = gp.Subset(best.P, k, nil)
 	return best, nil
 }

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/workload"
+)
+
+// BenchReport is the machine-readable benchmark trajectory fannr-bench
+// -json emits (BENCH_PR4.json in the repository root is one checked-in
+// run). Unlike the figure tables — averages shaped for the paper's plots
+// — this is raw operational data: per-algorithm latency quantiles plus
+// the operation counts the core.Stats hook collects, so successive PRs
+// can diff performance without re-parsing rendered tables.
+type BenchReport struct {
+	Dataset string          `json:"dataset"`
+	Nodes   int             `json:"nodes"`
+	Edges   int             `json:"edges"`
+	Scale   float64         `json:"scale"`
+	Queries int             `json:"queries"`
+	Seed    int64           `json:"seed"`
+	Params  workload.Params `json:"params"`
+	Algos   []AlgoBench     `json:"algorithms"`
+}
+
+// AlgoBench is one algorithm's measured trajectory over the shared
+// workload instances.
+type AlgoBench struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+	Agg    string `json:"agg"`
+	// Latency quantiles in microseconds over the per-query wall times
+	// (nearest-rank on the sorted sample).
+	MeanMicros int64 `json:"mean_micros"`
+	P50Micros  int64 `json:"p50_micros"`
+	P90Micros  int64 `json:"p90_micros"`
+	P99Micros  int64 `json:"p99_micros"`
+	MaxMicros  int64 `json:"max_micros"`
+	// Ops are the core.Stats totals over all queries.
+	Ops OpCounts `json:"ops"`
+}
+
+// OpCounts mirrors core.Stats with stable JSON names.
+type OpCounts struct {
+	GPhiEvals   int64 `json:"gphi_evals"`
+	GPhiSubsets int64 `json:"gphi_subsets"`
+	HeapPops    int64 `json:"heap_pops"`
+	IndexVisits int64 `json:"index_visits"`
+	Pruned      int64 `json:"pruned"`
+	Settled     int64 `json:"settled"`
+}
+
+// benchSpec is one measured algorithm: the paper's headline set
+// (mainAlgos), each with a private engine.
+type benchSpec struct {
+	name, engine string
+	agg          core.Aggregate
+	gp           core.GPhi
+	run          func(gp core.GPhi, inst *workloadInstance) error
+}
+
+// RunBenchJSON measures the headline algorithm set — GD, R-List and
+// IER-kNN on PHL, Exact-max and APX-sum on INE, mirroring mainAlgos —
+// over cfg.Queries default-parameter workload instances and returns the
+// report.
+func RunBenchJSON(cfg Config) (*BenchReport, error) {
+	e, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunBenchJSON()
+}
+
+// RunBenchJSON is RunBenchJSON over an existing environment.
+func (e *Env) RunBenchJSON() (*BenchReport, error) {
+	params := workload.DefaultParams()
+	insts := e.generate(params)
+	newPHL := func() (core.GPhi, error) { return e.buildEngine("PHL") }
+	gdPHL, err := newPHL()
+	if err != nil {
+		return nil, err
+	}
+	rlPHL, err := newPHL()
+	if err != nil {
+		return nil, err
+	}
+	ierPHL, err := e.buildEngine("IER-PHL")
+	if err != nil {
+		return nil, err
+	}
+	specs := []benchSpec{
+		{name: "GD", engine: "PHL", agg: core.Max, gp: gdPHL,
+			run: func(gp core.GPhi, inst *workloadInstance) error {
+				_, err := core.GD(e.G, gp, inst.query)
+				return err
+			}},
+		{name: "R-List", engine: "PHL", agg: core.Max, gp: rlPHL,
+			run: func(gp core.GPhi, inst *workloadInstance) error {
+				_, err := core.RList(e.G, gp, inst.query)
+				return err
+			}},
+		{name: "IER-kNN", engine: "IER-PHL", agg: core.Max, gp: ierPHL,
+			run: func(gp core.GPhi, inst *workloadInstance) error {
+				_, err := core.IERKNN(e.G, inst.rtP, gp, inst.query, core.IEROptions{})
+				return err
+			}},
+		{name: "Exact-max", engine: "INE", agg: core.Max, gp: core.NewINE(e.G),
+			run: func(gp core.GPhi, inst *workloadInstance) error {
+				_, err := core.ExactMax(e.G, gp, inst.query)
+				return err
+			}},
+		{name: "APX-sum", engine: "INE", agg: core.Sum, gp: core.NewINE(e.G),
+			run: func(gp core.GPhi, inst *workloadInstance) error {
+				_, err := core.APXSum(e.G, gp, inst.query)
+				return err
+			}},
+	}
+	report := &BenchReport{
+		Dataset: e.Cfg.Dataset,
+		Nodes:   e.G.NumNodes(),
+		Edges:   e.G.NumEdges(),
+		Scale:   e.Cfg.Scale,
+		Queries: len(insts),
+		Seed:    e.Cfg.Seed,
+		Params:  params,
+	}
+	for _, spec := range specs {
+		var stats core.Stats
+		core.BindStats(spec.gp, &stats)
+		durs := make([]time.Duration, 0, len(insts))
+		for qi := range insts {
+			inst := &insts[qi]
+			inst.query.Agg = spec.agg
+			inst.query.Stats = &stats
+			start := time.Now()
+			err := spec.run(spec.gp, inst)
+			durs = append(durs, time.Since(start))
+			inst.query.Stats = nil
+			if err != nil {
+				core.BindStats(spec.gp, nil)
+				return nil, fmt.Errorf("exp: bench %s query %d: %w", spec.name, qi, err)
+			}
+		}
+		core.BindStats(spec.gp, nil)
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var total time.Duration
+		for _, d := range durs {
+			total += d
+		}
+		report.Algos = append(report.Algos, AlgoBench{
+			Name:       spec.name,
+			Engine:     spec.engine,
+			Agg:        spec.agg.String(),
+			MeanMicros: (total / time.Duration(len(durs))).Microseconds(),
+			P50Micros:  quantileMicros(durs, 0.50),
+			P90Micros:  quantileMicros(durs, 0.90),
+			P99Micros:  quantileMicros(durs, 0.99),
+			MaxMicros:  durs[len(durs)-1].Microseconds(),
+			Ops: OpCounts{
+				GPhiEvals:   stats.GPhiEvals,
+				GPhiSubsets: stats.GPhiSubsets,
+				HeapPops:    stats.HeapPops,
+				IndexVisits: stats.IndexVisits,
+				Pruned:      stats.Pruned,
+				Settled:     stats.Settled,
+			},
+		})
+	}
+	return report, nil
+}
+
+// quantileMicros is the nearest-rank quantile of an ascending sample.
+func quantileMicros(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Microseconds()
+}

@@ -300,3 +300,47 @@ func TestGTreeLeafFor(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBenchJSON pins the -json report contract: every headline
+// algorithm appears with sane quantiles (sorted, positive) and op counts
+// consistent with the algorithms' structure — GD evaluates all of P per
+// query, Exact-max exactly once per query.
+func TestRunBenchJSON(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 3
+	report, err := RunBenchJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Queries != cfg.Queries || report.Dataset != "DE" {
+		t.Fatalf("report header %+v", report)
+	}
+	want := map[string]bool{"GD": false, "R-List": false, "IER-kNN": false, "Exact-max": false, "APX-sum": false}
+	for _, a := range report.Algos {
+		if _, ok := want[a.Name]; !ok {
+			t.Fatalf("unexpected algorithm %q", a.Name)
+		}
+		want[a.Name] = true
+		if a.MeanMicros <= 0 || a.P50Micros > a.P90Micros || a.P90Micros > a.P99Micros || a.P99Micros > a.MaxMicros {
+			t.Fatalf("%s: unsorted quantiles %+v", a.Name, a)
+		}
+		if a.Ops.GPhiEvals <= 0 || a.Ops.GPhiSubsets != int64(cfg.Queries) {
+			t.Fatalf("%s: op counts %+v, want evals > 0 and one subset per query", a.Name, a.Ops)
+		}
+		switch a.Name {
+		case "Exact-max":
+			if a.Ops.GPhiEvals != int64(cfg.Queries) {
+				t.Fatalf("Exact-max evals %d, want one per query (%d)", a.Ops.GPhiEvals, cfg.Queries)
+			}
+		case "R-List":
+			if a.Ops.Settled == 0 {
+				t.Fatalf("%s reported no settles", a.Name)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("algorithm %q missing from report", name)
+		}
+	}
+}

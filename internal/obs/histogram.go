@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds, spanning 100µs
+// to 10s — a decade wider than Prometheus's defaults on the low end,
+// because the fast engines answer FANN queries in well under a
+// millisecond on the scaled datasets.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation:
+// per-bucket atomic counts plus an atomic sum. Quantiles are estimated
+// by linear interpolation inside the covering bucket, which is exact
+// enough for bench trajectories and overload dashboards (the error is
+// bounded by the bucket width).
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds (nil = DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the average observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// bucketCounts snapshots the per-bucket (non-cumulative) counts; the
+// last entry is the +Inf overflow bucket.
+func (h *Histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket containing the target rank. Observations in the
+// +Inf bucket report the largest finite bound (there is no upper edge to
+// interpolate toward). Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.bucketCounts()
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper edge.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}

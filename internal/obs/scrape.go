@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed Prometheus text exposition: series keyed by their
+// rendered form ("name{k=\"v\",...}" — labels in the sorted order this
+// package emits) mapped to their values. It is the tiny in-repo scraper
+// the golden tests (and make chaos assertions) read /metrics with, so
+// the exposition format is proven machine-parseable without pulling in a
+// client library.
+type Scrape map[string]float64
+
+// ParseExposition reads Prometheus text format. Comment and blank lines
+// are skipped; every sample line must be "series value" (an optional
+// trailing timestamp is rejected — this server never emits one).
+func ParseExposition(r io.Reader) (Scrape, error) {
+	out := Scrape{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The series may contain spaces inside quoted label values, so
+		// split at the last space instead of the first.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value in %q", lineNo, line)
+		}
+		key, valStr := line[:cut], line[cut+1:]
+		v, err := parseValue(valStr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate series %q", lineNo, key)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Value returns the sample for a series assembled from name and labels
+// (sorted into canonical order), and whether it is present.
+func (s Scrape) Value(name string, labels ...Label) (float64, bool) {
+	v, ok := s[name+labelSig(labels)]
+	return v, ok
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed stage of a request.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Trace records the stages of one request — decode, admission wait,
+// compute, encode — so structured logs and stage histograms can
+// attribute latency instead of reporting one opaque wall time. A Trace
+// belongs to a single goroutine; the zero value is ready to use.
+type Trace struct {
+	ID    string
+	spans []Span
+}
+
+// NewTrace returns a trace tagged with a request id.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, spans: make([]Span, 0, 6)}
+}
+
+// Start opens a stage and returns the func that closes it. Stages are
+// expected to nest trivially (each closed before the next opens);
+// nothing enforces it — a trace is a flat list of timed sections, not a
+// tree.
+func (t *Trace) Start(name string) (end func()) {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: time.Since(start)})
+	}
+}
+
+// Spans returns the completed stages in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Dur returns the recorded duration of the named stage (0 if absent).
+func (t *Trace) Dur(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	for _, s := range t.spans {
+		if s.Name == name {
+			return s.Dur
+		}
+	}
+	return 0
+}
+
+// reqPrefix is a per-process random tag so request ids from different
+// server instances never collide in aggregated logs; reqSeq disambiguates
+// within the process.
+var (
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to a time-derived tag; ids stay unique per process.
+			return fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request id ("d3adbeef-42").
+// It is cheap (one atomic add) and collision-resistant across processes
+// via the random per-process prefix.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%d", reqPrefix, reqSeq.Add(1))
+}

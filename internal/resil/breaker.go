@@ -51,6 +51,18 @@ type Breaker struct {
 	state    State
 	fails    int
 	openedAt time.Time
+	onTrans  func(from, to State)
+}
+
+// OnTransition registers fn to run after every state change, outside the
+// breaker's lock (so fn may call State or publish metrics without
+// deadlocking). At most one callback is held; registering replaces the
+// previous one. Not safe to call concurrently with breaker traffic —
+// wire it up before the breaker sees calls.
+func (b *Breaker) OnTransition(fn func(from, to State)) {
+	if b != nil {
+		b.onTrans = fn
+	}
 }
 
 // NewBreaker returns a breaker tripping after threshold consecutive
@@ -89,17 +101,21 @@ func (b *Breaker) Admit() (ok, probe bool) {
 		return true, false
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case Open:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
+			b.mu.Unlock()
+			b.notify(Open, HalfOpen)
 			return true, true
 		}
+		b.mu.Unlock()
 		return false, false
 	case HalfOpen:
+		b.mu.Unlock()
 		return false, false
 	default:
+		b.mu.Unlock()
 		return true, false
 	}
 }
@@ -111,9 +127,13 @@ func (b *Breaker) Success() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.fails = 0
 	b.state = Closed
+	b.mu.Unlock()
+	if from != Closed {
+		b.notify(from, Closed)
+	}
 }
 
 // Failure records a failed call: a half-open probe reopens immediately,
@@ -124,14 +144,21 @@ func (b *Breaker) Failure() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	tripped := false
 	if b.state == HalfOpen {
 		b.trip()
-		return
+		tripped = true
+	} else {
+		b.fails++
+		if b.state == Closed && b.fails >= b.threshold {
+			b.trip()
+			tripped = true
+		}
 	}
-	b.fails++
-	if b.state == Closed && b.fails >= b.threshold {
-		b.trip()
+	b.mu.Unlock()
+	if tripped {
+		b.notify(from, Open)
 	}
 }
 
@@ -140,6 +167,13 @@ func (b *Breaker) trip() {
 	b.state = Open
 	b.openedAt = b.now()
 	b.fails = 0
+}
+
+// notify runs the transition callback, if any, outside b.mu.
+func (b *Breaker) notify(from, to State) {
+	if b.onTrans != nil {
+		b.onTrans(from, to)
+	}
 }
 
 // State returns the current state without advancing it (an elapsed

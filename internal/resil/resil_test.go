@@ -262,3 +262,50 @@ func TestChaosPanicMode(t *testing.T) {
 		t.Fatalf("wraps counter %d, want 2", in.wraps.Load())
 	}
 }
+
+// TestBreakerOnTransition checks every edge of the state machine fires
+// the callback exactly once, with the right endpoints, outside the lock.
+func TestBreakerOnTransition(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(2, 10*time.Second)
+	b.now = clk.now
+
+	type edge struct{ from, to State }
+	var edges []edge
+	b.OnTransition(func(from, to State) {
+		// Calling State() here would deadlock if the callback ran under
+		// b.mu — that it returns at all is part of the assertion.
+		_ = b.State()
+		edges = append(edges, edge{from, to})
+	})
+
+	b.Failure()
+	b.Failure() // threshold-th consecutive failure: closed → open
+	clk.advance(11 * time.Second)
+	if ok, probe := b.Admit(); !ok || !probe { // open → half-open
+		t.Fatalf("Admit after cooldown = (%v, %v), want probe", ok, probe)
+	}
+	b.Failure() // failed probe: half-open → open
+	clk.advance(11 * time.Second)
+	if ok, probe := b.Admit(); !ok || !probe {
+		t.Fatalf("second probe not admitted (ok=%v probe=%v)", ok, probe)
+	}
+	b.Success() // successful probe: half-open → closed
+	b.Success() // already closed: no transition
+
+	want := []edge{
+		{Closed, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Closed},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("saw %d transitions %v, want %d %v", len(edges), edges, len(want), want)
+	}
+	for i, e := range edges {
+		if e != want[i] {
+			t.Fatalf("transition %d = %v→%v, want %v→%v", i, e.from, e.to, want[i].from, want[i].to)
+		}
+	}
+}

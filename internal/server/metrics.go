@@ -1,0 +1,254 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/obs"
+	"fannr/internal/resil"
+)
+
+// Metric names exposed on /metrics. They are part of the operational
+// contract: dashboards and the golden scrape test key on them, so renames
+// are breaking changes (DESIGN.md §11 is the catalogue).
+const (
+	mRequestsTotal  = "fannr_requests_total"
+	mRequestSeconds = "fannr_request_seconds"
+	mComputeSeconds = "fannr_query_compute_seconds"
+	mGPhiEvals      = "fannr_gphi_evals_total"
+	mGPhiSubsets    = "fannr_gphi_subsets_total"
+	mHeapPops       = "fannr_heap_pops_total"
+	mIndexVisits    = "fannr_index_visits_total"
+	mPruned         = "fannr_pruned_total"
+	mSettled        = "fannr_dijkstra_settled_total"
+	mDegraded       = "fannr_degraded_total"
+	mPoolInflight   = "fannr_pool_inflight"
+	mPoolQueued     = "fannr_pool_queued"
+	mPoolShed       = "fannr_pool_shed_total"
+	mPoolCreated    = "fannr_pool_created_total"
+	mPoolReused     = "fannr_pool_reused_total"
+	mPoolIdle       = "fannr_pool_idle"
+	mDistInflight   = "fannr_dist_inflight"
+	mDistQueued     = "fannr_dist_queued"
+	mDistShed       = "fannr_dist_shed_total"
+	mBreakerState   = "fannr_breaker_state"
+	mBreakerTrips   = "fannr_breaker_trips_total"
+	mDraining       = "fannr_draining"
+	mUptime         = "fannr_uptime_seconds"
+)
+
+// engineMetrics is the per-engine handle set, prefetched once at freeze
+// time so the request path records op counts with plain atomic adds — no
+// registry lookups, no label formatting.
+type engineMetrics struct {
+	compute  *obs.Histogram
+	evals    *obs.Counter
+	subsets  *obs.Counter
+	pops     *obs.Counter
+	visits   *obs.Counter
+	pruned   *obs.Counter
+	settled  *obs.Counter
+	degraded *obs.Counter
+	trips    *obs.Counter
+}
+
+// flush folds one finished query's Stats into the engine's counters.
+func (em *engineMetrics) flush(st *core.Stats) {
+	if em == nil || st == nil {
+		return
+	}
+	em.evals.Add(st.GPhiEvals)
+	em.subsets.Add(st.GPhiSubsets)
+	em.pops.Add(st.HeapPops)
+	em.visits.Add(st.IndexVisits)
+	em.pruned.Add(st.Pruned)
+	em.settled.Add(st.Settled)
+}
+
+// serverMetrics owns the registry plus every prefetched handle.
+type serverMetrics struct {
+	reg            *obs.Registry
+	engines        map[string]*engineMetrics
+	requestSeconds map[string]*obs.Histogram // by route label
+}
+
+// breakerStateValue maps breaker states onto the gauge scale operators
+// alert on: 0 closed (healthy), 1 half-open (probing), 2 open (tripped).
+func breakerStateValue(st resil.State) float64 {
+	switch st {
+	case resil.HalfOpen:
+		return 1
+	case resil.Open:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// breakerStateName is the inverse mapping, for /meta's JSON.
+func breakerStateName(v float64) string {
+	switch v {
+	case 1:
+		return "half-open"
+	case 2:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// routes instrumented with their own latency series. Anything else (404s,
+// probes for paths that don't exist) lands in "other" so cardinality
+// stays bounded no matter what clients request.
+var knownRoutes = map[string]string{
+	"/fann":    "fann",
+	"/dist":    "dist",
+	"/meta":    "meta",
+	"/health":  "healthz",
+	"/healthz": "healthz",
+	"/readyz":  "readyz",
+	"/metrics": "metrics",
+}
+
+func routeLabel(path string) string {
+	if r, ok := knownRoutes[path]; ok {
+		return r
+	}
+	return "other"
+}
+
+// newServerMetrics builds the full metric surface over a frozen server:
+// op counters and compute histograms per engine, Func gauges mirroring
+// the pools, the /dist gate, the breakers and the drain flag, and the
+// breaker trip counters wired through OnTransition. Called exactly once,
+// from Handler, after registration froze — the pools map is immutable
+// from here on, so the closures read it lock-free like the request path.
+func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{
+		reg:            reg,
+		engines:        make(map[string]*engineMetrics, len(s.pools)),
+		requestSeconds: make(map[string]*obs.Histogram, len(knownRoutes)+1),
+	}
+	for _, route := range []string{"fann", "dist", "meta", "healthz", "readyz", "metrics", "other"} {
+		m.requestSeconds[route] = reg.Histogram(mRequestSeconds,
+			"HTTP request latency by route.", obs.DefBuckets, obs.L("route", route))
+	}
+	for name, pool := range s.pools {
+		el := obs.L("engine", name)
+		em := &engineMetrics{
+			compute: reg.Histogram(mComputeSeconds,
+				"FANN_R query compute time by serving engine (excludes queue wait).",
+				obs.DefBuckets, el),
+			evals: reg.Counter(mGPhiEvals,
+				"g_phi distance evaluations performed by queries on this engine.", el),
+			subsets: reg.Counter(mGPhiSubsets,
+				"g_phi subset materializations performed on this engine.", el),
+			pops: reg.Counter(mHeapPops,
+				"Best-first heap pops performed by queries on this engine.", el),
+			visits: reg.Counter(mIndexVisits,
+				"Index-node visits performed by queries on this engine.", el),
+			pruned: reg.Counter(mPruned,
+				"Candidates discarded without a g_phi evaluation.", el),
+			settled: reg.Counter(mSettled,
+				"Network nodes settled by shortest-path searches on this engine.", el),
+			degraded: reg.Counter(mDegraded,
+				"Responses this engine served for another engine via the fallback ladder.", el),
+			trips: reg.Counter(mBreakerTrips,
+				"Times this engine's circuit breaker tripped open.", el),
+		}
+		m.engines[name] = em
+
+		p := pool
+		reg.GaugeFunc(mPoolInflight, "Engines of this kind checked out right now.",
+			func() float64 { inflight, _, _ := p.Gauges(); return float64(inflight) }, el)
+		reg.GaugeFunc(mPoolQueued, "Requests waiting for an engine of this kind.",
+			func() float64 { _, queued, _ := p.Gauges(); return float64(queued) }, el)
+		reg.CounterFunc(mPoolShed, "Requests shed at this pool's admission gate.",
+			func() float64 { _, _, shed := p.Gauges(); return float64(shed) }, el)
+		reg.CounterFunc(mPoolCreated, "Engines of this kind ever constructed.",
+			func() float64 { created, _, _ := p.Stats(); return float64(created) }, el)
+		reg.CounterFunc(mPoolReused, "Checkouts served from the free list.",
+			func() float64 { _, reused, _ := p.Stats(); return float64(reused) }, el)
+		reg.GaugeFunc(mPoolIdle, "Engines of this kind idle on the free list.",
+			func() float64 { _, _, idle := p.Stats(); return float64(idle) }, el)
+
+		b := s.breakers[name]
+		reg.GaugeFunc(mBreakerState,
+			"Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return breakerStateValue(b.State()) }, el)
+		b.OnTransition(func(_, to resil.State) {
+			if to == resil.Open {
+				em.trips.Inc()
+			}
+		})
+	}
+	reg.GaugeFunc(mDistInflight, "In-flight /dist computations.",
+		func() float64 { inflight, _, _ := s.distGate.Gauges(); return float64(inflight) })
+	reg.GaugeFunc(mDistQueued, "Requests waiting at the /dist gate.",
+		func() float64 { _, queued, _ := s.distGate.Gauges(); return float64(queued) })
+	reg.CounterFunc(mDistShed, "Requests shed at the /dist gate.",
+		func() float64 { _, _, shed := s.distGate.Gauges(); return float64(shed) })
+	reg.GaugeFunc(mDraining, "1 once graceful drain has begun, else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc(mUptime, "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	return m
+}
+
+// observeRequest records one finished HTTP request. The status counter is
+// fetched through the registry (one mutex-guarded lookup per request —
+// cheap next to JSON decoding); the latency histogram is prefetched.
+func (m *serverMetrics) observeRequest(route string, status int, elapsed time.Duration) {
+	m.reg.Counter(mRequestsTotal, "HTTP requests by route and status code.",
+		obs.L("route", route), obs.L("code", strconv.Itoa(status))).Inc()
+	if h, ok := m.requestSeconds[route]; ok {
+		h.Observe(elapsed.Seconds())
+	}
+}
+
+// statusRecorder captures the status a handler wrote so the instrument
+// middleware can label the request counter after the fact.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// requestIDKey carries the request id through the context to handlers
+// that log.
+type requestIDKey struct{}
+
+// requestID returns the id the instrument middleware assigned.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// instrument wraps the whole route tree (outside panic recovery, so a
+// recovered panic's 500 is still counted): it assigns or echoes
+// X-Request-ID, times the request, and records the route/status series.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		s.metrics.observeRequest(routeLabel(r.URL.Path), rec.status, time.Since(start))
+	})
+}

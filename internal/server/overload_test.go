@@ -14,6 +14,7 @@ import (
 
 	"fannr/internal/core"
 	"fannr/internal/graph"
+	"fannr/internal/obs"
 	"fannr/internal/resil"
 )
 
@@ -323,6 +324,15 @@ func TestChaosBreakerFallbackRecovery(t *testing.T) {
 	if breakers["Chaos"] != "open" {
 		t.Fatalf("/readyz breakers %v, want Chaos open", breakers)
 	}
+	// The same trip is visible on /metrics: state gauge at 2 (open) and
+	// at least one recorded trip.
+	sc := scrapeMetrics(t, ts.URL)
+	if v, ok := sc.Value("fannr_breaker_state", obs.L("engine", "Chaos")); !ok || v != 2 {
+		t.Fatalf("fannr_breaker_state{engine=Chaos} = %v (ok=%v), want 2 (open)", v, ok)
+	}
+	if v, ok := sc.Value("fannr_breaker_trips_total", obs.L("engine", "Chaos")); !ok || v < 1 {
+		t.Fatalf("fannr_breaker_trips_total{engine=Chaos} = %v (ok=%v), want >= 1", v, ok)
+	}
 
 	// Phase 2 — breaker open: requests transparently fall back and the
 	// degraded answers are still correct.
@@ -351,6 +361,10 @@ func TestChaosBreakerFallbackRecovery(t *testing.T) {
 	checkAnswer(fr)
 	if status, body := getJSON(t, ts.URL+"/readyz"); status != http.StatusOK || body["status"] != "ready" {
 		t.Fatalf("/readyz after recovery: status %d body %v, want 200 ready", status, body)
+	}
+	sc = scrapeMetrics(t, ts.URL)
+	if v, _ := sc.Value("fannr_breaker_state", obs.L("engine", "Chaos")); v != 0 {
+		t.Fatalf("fannr_breaker_state{engine=Chaos} = %v after recovery, want 0 (closed)", v)
 	}
 	// Steady state: the recovered primary keeps serving non-degraded.
 	status, fr, _ = fann()

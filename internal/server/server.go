@@ -17,7 +17,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -26,6 +29,7 @@ import (
 
 	"fannr/internal/core"
 	"fannr/internal/graph"
+	"fannr/internal/obs"
 	"fannr/internal/resil"
 	"fannr/internal/sp"
 )
@@ -80,6 +84,18 @@ type Options struct {
 	// RetryAfter is the hint attached to 503 responses (<= 0 defaults to
 	// 1s).
 	RetryAfter time.Duration
+	// Metrics is the registry /metrics exposes (nil = a fresh private
+	// one). Inject a registry to scrape several servers together or to
+	// read gauges in tests.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: the profiling surface is for operators, not the open
+	// internet.
+	Pprof bool
+	// Logger receives one structured record per /fann request (request
+	// id, engine, outcome, stage timings). nil discards the records, so
+	// tests and benchmarks stay quiet by default.
+	Logger *slog.Logger
 }
 
 // Server answers FANN_R queries over HTTP.
@@ -111,6 +127,13 @@ type Server struct {
 	// and /readyz answer 503 from then on so load balancers stop routing
 	// to a dying server.
 	draining atomic.Bool
+	// metrics is built once, when Handler freezes registration (the
+	// per-engine handle sets need the final pools map); reg and logger
+	// are fixed at New.
+	metrics *serverMetrics
+	reg     *obs.Registry
+	logger  *slog.Logger
+	pprof   bool
 }
 
 // New builds a server over g.
@@ -127,6 +150,15 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 		retryAfter:       opts.RetryAfter,
 		queryTimeout:     opts.QueryTimeout,
 		started:          time.Now(),
+		reg:              opts.Metrics,
+		logger:           opts.Logger,
+		pprof:            opts.Pprof,
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if s.retryAfter <= 0 {
 		s.retryAfter = time.Second
@@ -276,6 +308,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Handler() http.Handler {
 	s.mu.Lock()
 	s.frozen = true
+	if s.metrics == nil {
+		s.metrics = newServerMetrics(s, s.reg)
+	}
 	s.mu.Unlock()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /health", s.handleHealthz) // legacy alias of /healthz
@@ -284,7 +319,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /meta", s.handleMeta)
 	mux.HandleFunc("POST /fann", s.handleFANN)
 	mux.HandleFunc("POST /dist", s.handleDist)
-	return recoverPanics(mux)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	// instrument sits OUTSIDE panic recovery so a recovered panic's 500
+	// still lands in the request series.
+	return s.instrument(recoverPanics(mux))
 }
 
 // recoverPanics converts handler panics into 500 responses. It rethrows
@@ -413,19 +458,27 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	// Every gauge below is read back from the metrics registry rather
+	// than from the pools directly: /meta and /metrics are two views of
+	// one source of truth and must never disagree (pinned by the schema
+	// regression test).
+	val := func(name string, labels ...obs.Label) int64 {
+		v, _ := s.reg.Value(name, labels...)
+		return int64(v)
+	}
 	names := make([]string, 0, len(s.pools))
 	poolStats := make(map[string]map[string]any, len(s.pools))
-	for name, p := range s.pools {
+	for name := range s.pools {
 		names = append(names, name)
-		created, reused, idle := p.Stats()
-		inflight, queued, shed := p.Gauges()
+		el := obs.L("engine", name)
+		state, _ := s.reg.Value(mBreakerState, el)
 		poolStats[name] = map[string]any{
-			"created": created, "reused": reused, "idle": idle,
-			"inflight": inflight, "queued": queued, "shed": shed,
-			"breaker": s.breakers[name].State().String(),
+			"created": val(mPoolCreated, el), "reused": val(mPoolReused, el), "idle": val(mPoolIdle, el),
+			"inflight": val(mPoolInflight, el), "queued": val(mPoolQueued, el), "shed": val(mPoolShed, el),
+			"breaker": breakerStateName(state),
 		}
 	}
-	distInflight, distQueued, distShed := s.distGate.Gauges()
+	distInflight, distQueued, distShed := val(mDistInflight), val(mDistQueued), val(mDistShed)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": s.g.Name(),
 		"nodes":   s.g.NumNodes(),
@@ -479,25 +532,67 @@ const (
 )
 
 func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
+	// Per-request trace: decode / admit / compute spans feed the stage
+	// timings in the structured log. The deferred record fires on every
+	// exit path, so failed requests are logged with their outcome code
+	// just like successes.
+	tr := obs.NewTrace(requestID(r.Context()))
+	stats := &core.Stats{}
+	start := time.Now()
+	outcome := "ok"
+	served, degraded := "", false
 	var req FANNRequest
+	var q core.Query
+	defer func() {
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "fann",
+			slog.String("request_id", tr.ID),
+			slog.String("engine", req.Engine),
+			slog.String("served", served),
+			slog.Bool("degraded", degraded),
+			slog.String("algo", req.Algo),
+			slog.Float64("phi", req.Phi),
+			slog.Int("np", len(q.P)),
+			slog.Int("nq", len(q.Q)),
+			slog.Int("k", req.K),
+			slog.String("outcome", outcome),
+			slog.Duration("duration", time.Since(start)),
+			slog.Duration("decode", tr.Dur("decode")),
+			slog.Duration("admit", tr.Dur("admit")),
+			slog.Duration("compute", tr.Dur("compute")),
+			slog.Int64("gphi_evals", stats.GPhiEvals),
+			slog.Int64("settled", stats.Settled),
+			slog.Int64("heap_pops", stats.HeapPops),
+		)
+	}()
+	// failq classifies, records the outcome code, and writes the error.
+	failq := func(err error) {
+		_, outcome = errStatus(err)
+		fail(w, err)
+	}
+
+	endDecode := tr.Start("decode")
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxFANNBody)).Decode(&req); err != nil {
-		fail(w, decodeErr(err))
+		endDecode()
+		failq(decodeErr(err))
 		return
 	}
-	q := core.Query{P: req.P, Q: req.Q, Phi: req.Phi}
+	q = core.Query{P: req.P, Q: req.Q, Phi: req.Phi, Stats: stats}
 	switch req.Agg {
 	case "", "max":
 		q.Agg = core.Max
 	case "sum":
 		q.Agg = core.Sum
 	default:
-		fail(w, invalidf("unknown aggregate %q", req.Agg))
+		endDecode()
+		failq(invalidf("unknown aggregate %q", req.Agg))
 		return
 	}
 	if err := q.Validate(s.g); err != nil {
-		fail(w, err)
+		endDecode()
+		failq(err)
 		return
 	}
+	endDecode()
 	if req.K < 1 {
 		req.K = 1
 	}
@@ -506,7 +601,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		engineName = "INE"
 	}
 	if _, ok := s.pools[engineName]; !ok {
-		fail(w, invalidf("unknown engine %q (see /meta)", engineName))
+		failq(invalidf("unknown engine %q (see /meta)", engineName))
 		return
 	}
 
@@ -523,12 +618,15 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Walk the breaker/fallback ladder to the engine that will serve.
-	served, degraded, probe, ok := s.routeEngine(engineName)
+	var probe, ok bool
+	served, degraded, probe, ok = s.routeEngine(engineName)
 	if !ok {
+		outcome = "overloaded"
 		s.shed(w, fmt.Errorf("engine %q unavailable: breaker open and no closed fallback", engineName))
 		return
 	}
 	pool, breaker := s.pools[served], s.breakers[served]
+	em := s.metrics.engines[served]
 
 	// Every breaker verdict goes through report, which remembers that one
 	// was recorded. A half-open probe MUST report — until it does the
@@ -555,36 +653,51 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 
 	// Bounded admission: wait in the pool's queue up to the deadline;
 	// saturation beyond the queue sheds with 503 + Retry-After.
+	endAdmit := tr.Start("admit")
 	gp, err := pool.Acquire(ctx)
+	endAdmit()
 	if err != nil {
 		if errors.Is(err, core.ErrSaturated) {
+			outcome = "overloaded"
 			s.shed(w, err)
 			return
 		}
-		fail(w, err)
+		failq(err)
 		return
 	}
 
 	stop := q.BindContext(ctx)
 	defer stop()
 
-	start := time.Now()
+	// Attribute the engine's internal settles to this request's Stats.
+	// Pooled engines MUST be unbound before going back to the free list:
+	// a stale binding would let the next request write into this one's
+	// finished Stats.
+	core.BindStats(gp, stats)
+
+	computeStart := time.Now()
+	endCompute := tr.Start("compute")
 	var answers []core.Answer
 	completed := false
 	defer func() {
+		em.flush(stats)
 		if completed {
+			core.BindStats(gp, nil)
 			pool.Release(gp)
 			return
 		}
 		// On panic the engine's internal state is suspect: drop it for the
 		// GC instead of poisoning the free list (recoverPanics answers
 		// 500), and feed the breaker so repeated blowups open it.
+		outcome = "internal"
 		pool.Discard()
 		report(false)
 	}()
 	answers, err = s.dispatch(req.Algo, gp, q, req.K)
 	completed = true
-	elapsed := time.Since(start)
+	endCompute()
+	elapsed := time.Since(computeStart)
+	em.compute.Observe(elapsed.Seconds())
 	if err != nil {
 		if errors.Is(err, core.ErrCanceled) {
 			// Attribute the abort: a server-side deadline is a 504 the
@@ -603,10 +716,13 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		case http.StatusBadRequest, http.StatusNotFound:
 			report(true)
 		}
-		fail(w, err)
+		failq(err)
 		return
 	}
 	report(true)
+	if degraded {
+		em.degraded.Inc()
+	}
 	resp := FANNResponse{Micros: elapsed.Microseconds(), Engine: served, Degraded: degraded}
 	for _, a := range answers {
 		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
