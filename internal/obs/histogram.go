@@ -82,8 +82,9 @@ func (h *Histogram) bucketCounts() []int64 {
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
-// within the bucket containing the target rank. Observations in the
-// +Inf bucket report the largest finite bound (there is no upper edge to
+// within the bucket containing the target rank; q=0 reports from the
+// bucket holding the smallest observation. Observations in the +Inf
+// bucket report the largest finite bound (there is no upper edge to
 // interpolate toward). Returns 0 with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
 	counts := h.bucketCounts()
@@ -101,9 +102,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 		q = 1
 	}
 	rank := q * float64(total)
+	if rank < 1 {
+		// Rank 0 means the smallest observation: target rank 1 so the
+		// search lands in the bucket actually holding the minimum
+		// rather than reporting the upper bound of a leading empty
+		// bucket.
+		rank = 1
+	}
 	cum := int64(0)
 	for i, c := range counts {
-		if float64(cum+c) < rank {
+		// Empty buckets contain no observation the rank could name;
+		// skip them so interpolation always happens inside a bucket
+		// with data.
+		if c == 0 || float64(cum+c) < rank {
 			cum += c
 			continue
 		}
@@ -116,9 +127,6 @@ func (h *Histogram) Quantile(q float64) float64 {
 			lo = h.bounds[i-1]
 		}
 		hi := h.bounds[i]
-		if c == 0 {
-			return hi
-		}
 		frac := (rank - float64(cum)) / float64(c)
 		return lo + (hi-lo)*frac
 	}

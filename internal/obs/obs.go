@@ -275,6 +275,10 @@ func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
 // expanded into cumulative _bucket/_sum/_count. The output is
 // deterministic for a fixed registry state, which the golden test pins.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	// Snapshot family metadata AND series pointers under the lock:
+	// Counter/Gauge/Histogram/registerFunc insert into f.series
+	// concurrently, so the render below must never touch those maps
+	// after unlocking. Handle updates stay lock-free either way.
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
@@ -282,8 +286,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Strings(names)
 	type row struct {
-		f    *family
-		sigs []string
+		name   string
+		help   string
+		kind   metricKind
+		sigs   []string
+		series []*series
 	}
 	rows := make([]row, 0, len(names))
 	for _, name := range names {
@@ -293,28 +300,31 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			sigs = append(sigs, sig)
 		}
 		sort.Strings(sigs)
-		rows = append(rows, row{f: f, sigs: sigs})
+		ss := make([]*series, len(sigs))
+		for i, sig := range sigs {
+			ss[i] = f.series[sig]
+		}
+		rows = append(rows, row{name: f.name, help: f.help, kind: f.kind, sigs: sigs, series: ss})
 	}
 	r.mu.Unlock()
 
 	var b strings.Builder
 	for _, rw := range rows {
-		f := rw.f
-		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		if rw.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", rw.name, rw.help)
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		for _, sig := range rw.sigs {
-			s := f.series[sig]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", rw.name, rw.kind)
+		for i, sig := range rw.sigs {
+			s := rw.series[i]
 			switch {
 			case s.hist != nil:
-				writeHistogram(&b, f.name, s.labels, s.hist)
+				writeHistogram(&b, rw.name, s.labels, s.hist)
 			case s.ctr != nil:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(float64(s.ctr.Value())))
+				fmt.Fprintf(&b, "%s%s %s\n", rw.name, sig, formatValue(float64(s.ctr.Value())))
 			case s.gauge != nil:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(s.gauge.Value()))
+				fmt.Fprintf(&b, "%s%s %s\n", rw.name, sig, formatValue(s.gauge.Value()))
 			case s.fn != nil:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatValue(s.fn()))
+				fmt.Fprintf(&b, "%s%s %s\n", rw.name, sig, formatValue(s.fn()))
 			}
 		}
 	}

@@ -3,8 +3,10 @@ package obs
 import (
 	"math"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -167,6 +169,19 @@ func TestHistogramQuantile(t *testing.T) {
 	if q := h2.Quantile(0.99); q != 1 {
 		t.Errorf("overflow quantile %v, want clamp to 1", q)
 	}
+	// q=0 with leading empty buckets must report from the bucket that
+	// actually holds the minimum observation, not the upper bound of an
+	// empty first bucket (regression: all obs in (2,4] used to yield 1).
+	h3 := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h3.Observe(3)
+	}
+	if q := h3.Quantile(0); !(q > 2 && q <= 4) {
+		t.Errorf("q=0 with leading empty buckets: %v, want within (2,4]", q)
+	}
+	if q := h3.Quantile(0.5); !(q > 2 && q <= 4) {
+		t.Errorf("p50 with leading empty buckets: %v, want within (2,4]", q)
+	}
 }
 
 func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
@@ -213,6 +228,13 @@ func TestRegistryConcurrentHammer(t *testing.T) {
 				}
 			}
 		}()
+		// Fresh-series registrations must keep happening for the whole
+		// hammer, not just the first few iterations: the scraper renders
+		// concurrently, and a WriteTo that touches f.series after
+		// releasing the lock is a concurrent map read/write with these
+		// inserts (regression: WriteTo used to snapshot only sigs, not
+		// series pointers).
+		var fresh atomic.Int64
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
@@ -220,6 +242,10 @@ func TestRegistryConcurrentHammer(t *testing.T) {
 				r.Counter("h_evals_total", "", L("engine", e)).Inc()
 				r.Histogram("h_seconds", "", nil, L("engine", e)).Observe(float64(i%10) / 1000)
 				r.Gauge("h_gauge", "", L("engine", e)).Set(float64(i))
+				if i%64 == 0 {
+					id := strconv.FormatInt(fresh.Add(1), 10)
+					r.Counter("h_fresh_total", "", L("id", id)).Inc()
+				}
 				i++
 			}
 		})

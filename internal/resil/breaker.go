@@ -56,9 +56,14 @@ type Breaker struct {
 
 // OnTransition registers fn to run after every state change, outside the
 // breaker's lock (so fn may call State or publish metrics without
-// deadlocking). At most one callback is held; registering replaces the
-// previous one. Not safe to call concurrently with breaker traffic —
-// wire it up before the breaker sees calls.
+// deadlocking). Because delivery happens after the lock is released,
+// concurrent transitions (a Failure trip racing a Success reset) may
+// invoke fn out of order or with from/to pairs that no longer match the
+// live state — callbacks must be order-insensitive (e.g. counting trips,
+// re-reading State), not reconstructions of the state machine. At most
+// one callback is held; registering replaces the previous one. Not safe
+// to call concurrently with breaker traffic — wire it up before the
+// breaker sees calls.
 func (b *Breaker) OnTransition(fn func(from, to State)) {
 	if b != nil {
 		b.onTrans = fn
