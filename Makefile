@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-overhead
+.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-cache bench-overhead
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -25,7 +25,7 @@ race:
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
 		./internal/resil/... ./internal/gtree/... ./internal/ch/... \
 		./internal/par/... ./internal/workload/... ./internal/difftest/... \
-		./internal/obs/...
+		./internal/obs/... ./internal/qcache/...
 
 ## Race detector over everything, full-size tests (slow).
 race-full:
@@ -67,6 +67,12 @@ bench-build:
 ## for the headline algorithms); BENCH_PR4.json is the checked-in run.
 bench-json:
 	$(GO) run ./cmd/fannr-bench -json BENCH_PR4.json
+
+## Semantic-cache benchmark: hit rate and cold/warm/latency-saved
+## quantiles under a Zipf-repeat workload; BENCH_PR5.json is the
+## checked-in run.
+bench-cache:
+	$(GO) run ./cmd/fannr-bench -cache BENCH_PR5.json
 
 ## Observability overhead guard: GD with the Stats hook disabled (nil
 ## pointer tests only) vs. enabled. The disabled column is the §11 budget.

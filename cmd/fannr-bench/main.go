@@ -23,17 +23,18 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (see -list) or \"all\"")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		dataset = flag.String("dataset", "NW", "Table III dataset for workload experiments")
-		scale   = flag.Float64("scale", 1.0/16, "dataset scale relative to the paper's node counts")
-		queries = flag.Int("queries", 8, "queries averaged per data point (the paper uses 100)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		timeout = flag.Duration("timeout", 20*time.Second, "per-(algorithm, tick) budget before DNF")
-		budget  = flag.Int64("phl-budget", 0, "hub-label entry budget (0 = default)")
-		csvDir  = flag.String("csv", "", "also write one CSV per table into this directory")
-		chart   = flag.Bool("chart", false, "render ASCII charts after each table")
-		jsonOut = flag.String("json", "", "write a machine-readable benchmark report (latency quantiles + op counts) to this file and exit")
+		expID    = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		dataset  = flag.String("dataset", "NW", "Table III dataset for workload experiments")
+		scale    = flag.Float64("scale", 1.0/16, "dataset scale relative to the paper's node counts")
+		queries  = flag.Int("queries", 8, "queries averaged per data point (the paper uses 100)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		timeout  = flag.Duration("timeout", 20*time.Second, "per-(algorithm, tick) budget before DNF")
+		budget   = flag.Int64("phl-budget", 0, "hub-label entry budget (0 = default)")
+		csvDir   = flag.String("csv", "", "also write one CSV per table into this directory")
+		chart    = flag.Bool("chart", false, "render ASCII charts after each table")
+		jsonOut  = flag.String("json", "", "write a machine-readable benchmark report (latency quantiles + op counts) to this file and exit")
+		cacheOut = flag.String("cache", "", "write the semantic-cache benchmark report (hit rate + latency-saved quantiles under a Zipf-repeat workload) to this file and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -57,8 +58,15 @@ func main() {
 		}
 		return
 	}
+	if *cacheOut != "" {
+		if err := writeCacheBench(*cacheOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fannr-bench: -cache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, or -json)")
+		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache)")
 		os.Exit(2)
 	}
 	ids := []string{*expID}
@@ -105,6 +113,26 @@ func writeBenchJSON(path string, cfg fannr.ExpConfig) error {
 		return err
 	}
 	fmt.Printf("[bench report written to %s in %s]\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeCacheBench runs the semantic-cache benchmark and writes the report.
+func writeCacheBench(path string, cfg fannr.ExpConfig) error {
+	start := time.Now()
+	report, err := fannr.RunCacheBench(cfg)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[cache bench: hit rate %.3f, cold p50 %.1fµs, warm p50 %.2fµs, speedup %.0f×; written to %s in %s]\n",
+		report.HitRate, report.ColdP50Micros, report.WarmHitP50Micros, report.SpeedupP50,
+		path, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

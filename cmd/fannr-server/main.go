@@ -29,7 +29,13 @@
 // -breaker-threshold set, an engine that fails that many times in a row
 // has its circuit opened and requests fall back along the -fallback
 // ladder (answers are stamped "degraded":true); without a fallback they
-// shed. Errors carry a stable JSON shape {"error":..., "code":...}; see
+// shed. With -cache-entries (default 4096) /fann answers repeat queries
+// from a semantic cache: exact repeats skip the engine entirely, and
+// queries sharing the same Q reuse cached per-candidate neighbor lists
+// across φ and k (subsumption). -coalesce (default on) collapses
+// concurrent identical queries onto one computation, and -batch-window
+// groups same-Q queries onto one engine checkout.
+// Errors carry a stable JSON shape {"error":..., "code":...}; see
 // internal/server for the taxonomy. On SIGINT/SIGTERM the server flips
 // /healthz and /readyz to 503, stops accepting connections, and drains
 // in-flight requests for up to -drain-timeout before exiting.
@@ -70,6 +76,11 @@ type config struct {
 	fallback         string
 	pprof            bool
 	logRequests      bool
+	cacheEntries     int
+	cacheTTL         time.Duration
+	coalesce         bool
+	batchWindow      time.Duration
+	batchMax         int
 }
 
 func main() {
@@ -89,6 +100,11 @@ func main() {
 	flag.StringVar(&cfg.fallback, "fallback", "", `breaker fallback ladder, e.g. "PHL=INE,GTree=INE": when the left engine's breaker is open, serve from the right one (degraded)`)
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.BoolVar(&cfg.logRequests, "log", false, "emit one structured JSON log line per /fann request to stderr")
+	flag.IntVar(&cfg.cacheEntries, "cache-entries", 4096, "semantic query-cache capacity in entries (0 = disabled)")
+	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 0, "query-cache entry time-to-live (0 = no expiry; indexes are immutable in-process)")
+	flag.BoolVar(&cfg.coalesce, "coalesce", true, "collapse concurrent identical /fann queries onto one computation")
+	flag.DurationVar(&cfg.batchWindow, "batch-window", 0, "hold /fann queries up to this long to batch same-Q queries onto one engine checkout (0 = disabled)")
+	flag.IntVar(&cfg.batchMax, "batch-max", 32, "max queries per batch before an early flush")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-server:", err)
@@ -135,6 +151,11 @@ func run(cfg config) error {
 		BreakerCooldown:  cfg.breakerCooldown,
 		RetryAfter:       cfg.retryAfter,
 		Pprof:            cfg.pprof,
+		CacheEntries:     cfg.cacheEntries,
+		CacheTTL:         cfg.cacheTTL,
+		Coalesce:         cfg.coalesce,
+		BatchWindow:      cfg.batchWindow,
+		BatchMax:         cfg.batchMax,
 	}
 	if cfg.logRequests {
 		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))

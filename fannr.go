@@ -332,6 +332,10 @@ type (
 	// BenchReport is the machine-readable trajectory fannr-bench -json
 	// emits: per-algorithm latency quantiles plus operation counts.
 	BenchReport = exp.BenchReport
+	// CacheBenchReport is the semantic-cache benchmark report fannr-bench
+	// -cache emits: hit rate plus cold/warm/latency-saved quantiles under
+	// a Zipf-repeat workload.
+	CacheBenchReport = exp.CacheBenchReport
 )
 
 // RunExperiment regenerates one of the paper's figures or tables by id
@@ -344,3 +348,7 @@ func ExperimentIDs() []string { return exp.ExperimentIDs() }
 // RunBenchJSON measures the headline algorithm set over default-parameter
 // workloads and returns the structured report (fannr-bench -json).
 func RunBenchJSON(cfg ExpConfig) (*BenchReport, error) { return exp.RunBenchJSON(cfg) }
+
+// RunCacheBench measures the semantic query cache under a Zipf-repeat
+// workload and returns the structured report (fannr-bench -cache).
+func RunCacheBench(cfg ExpConfig) (*CacheBenchReport, error) { return exp.RunCacheBench(cfg) }

@@ -21,6 +21,30 @@ import (
 //	             restriction around a distance oracle (IER-A*, IER-PHL,
 //	             IER-GTree — the "IER²" building block of §III-C)
 
+// NeighborSearcher is the optional engine capability the query cache
+// (internal/qcache) builds on: the paper's "Revisitation of g_φ"
+// observes that every flexible aggregate is a fold over the k nearest
+// members of Q, so an engine that can hand out that sorted list lets a
+// cache answer every φ' ≤ φ (k' ≤ k) from one computation. All built-in
+// engines implement it; a GPhi without it simply cannot be wrapped.
+type NeighborSearcher interface {
+	// KNearest appends the k network-nearest members of the bound Q to
+	// dst, sorted ascending by distance, and returns the extended slice.
+	// Fewer than k neighbors mean fewer than k members of Q are
+	// reachable from p. The result must agree with Dist/Subset:
+	// Dist(p,k,agg) == AggSorted(KNearest(p,k,nil), k, agg) and
+	// Subset(p,k,nil) lists the same nodes in the same order.
+	KNearest(p graph.NodeID, k int, dst []sp.Neighbor) []sp.Neighbor
+}
+
+// AggSorted folds a sorted ascending neighbor list into the aggregate of
+// its k-prefix, reporting ok=false when fewer than k neighbors exist —
+// the same fold the engines apply internally, exported so cached
+// neighbor lists aggregate bit-identically to a live engine.
+func AggSorted(nbrs []sp.Neighbor, k int, agg Aggregate) (float64, bool) {
+	return aggSorted(nbrs, k, agg)
+}
+
 // NewINE returns the INE engine: a Dijkstra expansion from p that stops
 // once k query points settle.
 func NewINE(g *graph.Graph) GPhi {
@@ -62,6 +86,13 @@ func (e *ineEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.No
 		dst = append(dst, nb.Node)
 	}
 	return dst
+}
+
+func (e *ineEngine) KNearest(p graph.NodeID, k int, dst []sp.Neighbor) []sp.Neighbor {
+	before := e.d.NodesScanned()
+	e.buf = e.d.KNNAmong(p, e.targets, k, e.buf[:0])
+	e.stats.CountSettled(e.d.NodesScanned() - before)
+	return append(dst, e.buf...)
 }
 
 // aggSorted folds a sorted ascending neighbor list.
@@ -152,6 +183,27 @@ func (e *oracleEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph
 	return dst
 }
 
+func (e *oracleEngine) KNearest(p graph.NodeID, k int, dst []sp.Neighbor) []sp.Neighbor {
+	before := int64(0)
+	if e.stats != nil {
+		before = scanOf(e.o)
+	}
+	e.nbuf = e.nbuf[:0]
+	for _, q := range e.q {
+		if d := e.o.Dist(p, q); !math.IsInf(d, 1) {
+			e.nbuf = append(e.nbuf, sp.Neighbor{Node: q, Dist: d})
+		}
+	}
+	if e.stats != nil {
+		e.stats.CountSettled(scanOf(e.o) - before)
+	}
+	sort.Slice(e.nbuf, func(i, j int) bool { return e.nbuf[i].Dist < e.nbuf[j].Dist })
+	if k > len(e.nbuf) {
+		k = len(e.nbuf)
+	}
+	return append(dst, e.nbuf[:k]...)
+}
+
 // NewGTreeGPhi returns the "GTree" engine: occurrence-list kNN search over
 // a prebuilt G-tree (Table I: G-tree + Occ indexes).
 func NewGTreeGPhi(t *gtree.Tree) GPhi {
@@ -187,6 +239,12 @@ func (e *gtreeEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.
 		dst = append(dst, nb.Node)
 	}
 	return dst
+}
+
+func (e *gtreeEngine) KNearest(p graph.NodeID, k int, dst []sp.Neighbor) []sp.Neighbor {
+	e.stats.CountVisit()
+	e.buf = e.q.KNN(p, e.objs, k, e.buf[:0])
+	return append(dst, e.buf...)
 }
 
 // NewIERGPhi returns an engine that evaluates g_φ with incremental
@@ -284,4 +342,8 @@ func (e *ierEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.No
 		dst = append(dst, nb.Node)
 	}
 	return dst
+}
+
+func (e *ierEngine) KNearest(p graph.NodeID, k int, dst []sp.Neighbor) []sp.Neighbor {
+	return append(dst, e.kNearest(p, k)...)
 }

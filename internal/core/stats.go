@@ -33,6 +33,12 @@ type Stats struct {
 	// Settled counts network nodes settled inside the engine (Dijkstra/
 	// A*/expander settles), the shortest-path work behind the evals.
 	Settled int64
+	// CacheHits counts evaluations answered from a cached neighbor list
+	// (qcache subsumption hits, plus one per request served as an exact
+	// result hit) — evaluations that touched no shortest-path substrate.
+	CacheHits int64
+	// CacheMisses counts evaluations the cache had to compute and fill.
+	CacheMisses int64
 }
 
 // CountEval records one g_φ evaluation. All Count methods are safe on a
@@ -78,6 +84,20 @@ func (s *Stats) CountSettled(n int64) {
 	}
 }
 
+// CountCacheHit records one evaluation served from cache.
+func (s *Stats) CountCacheHit() {
+	if s != nil {
+		s.CacheHits++
+	}
+}
+
+// CountCacheMiss records one evaluation the cache had to compute.
+func (s *Stats) CountCacheMiss() {
+	if s != nil {
+		s.CacheMisses++
+	}
+}
+
 // Add accumulates o into s (for aggregating per-query stats into totals).
 func (s *Stats) Add(o Stats) {
 	if s == nil {
@@ -89,6 +109,8 @@ func (s *Stats) Add(o Stats) {
 	s.IndexVisits += o.IndexVisits
 	s.Pruned += o.Pruned
 	s.Settled += o.Settled
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // StatsSink is implemented by g_φ engines that can attribute internal

@@ -222,9 +222,9 @@ func TestBindStatsNonSinkNoOp(t *testing.T) {
 
 type plainGPhi struct{}
 
-func (plainGPhi) Name() string                                          { return "plain" }
-func (plainGPhi) Reset([]graph.NodeID)                                  {}
-func (plainGPhi) Dist(graph.NodeID, int, Aggregate) (float64, bool)     { return 0, false }
+func (plainGPhi) Name() string                                                    { return "plain" }
+func (plainGPhi) Reset([]graph.NodeID)                                            {}
+func (plainGPhi) Dist(graph.NodeID, int, Aggregate) (float64, bool)               { return 0, false }
 func (plainGPhi) Subset(_ graph.NodeID, _ int, dst []graph.NodeID) []graph.NodeID { return dst }
 
 // Add folds one Stats into another; nil receivers and sources are inert.

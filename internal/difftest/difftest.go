@@ -32,6 +32,7 @@ import (
 	"fannr/internal/graph"
 	"fannr/internal/gtree"
 	"fannr/internal/phl"
+	"fannr/internal/qcache"
 	"fannr/internal/sp"
 )
 
@@ -329,6 +330,84 @@ func (env *Env) runTopK(c Case, q core.Query) error {
 					return fmt.Errorf("%v: KAPXSum/%s: answers not sorted at rank %d", c, name, i)
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// cachedSweep is the descending-φ ladder RunCaseCached runs: the φ=1
+// pass fills each candidate's full neighbor list, so every later (and
+// every second-pass) query is answered from cached prefixes.
+var cachedSweep = []float64{1.0, 0.75, 0.5, 0.25, 0.1, 0.01}
+
+// RunCaseCached is the warm/cold differential gate for the qcache
+// semantic cache: the case's query runs over a descending-φ sweep twice
+// per engine — cold through the raw engine and warm through a
+// cache-wrapped one — and every warm answer must agree with the cold
+// answer and with brute force. Descending φ makes the smaller k values
+// subsumption hits against the lists the φ=1 queries filled, exercising
+// exactly the "Revisitation of g_φ" prefix-fold property the cache
+// relies on; the run fails outright if no subsumption hit was recorded,
+// so a silently pass-through cache cannot fake agreement.
+func (env *Env) RunCaseCached(c Case, engines []core.GPhi) error {
+	if engines == nil {
+		engines = env.Engines
+	}
+	algos := []struct {
+		name string
+		fn   func(*graph.Graph, core.GPhi, core.Query) (core.Answer, error)
+	}{
+		{"GD", core.GD},
+		{"RList", core.RList},
+	}
+	for _, gp := range engines {
+		cache := qcache.New(qcache.Config{MaxEntries: 1 << 14})
+		warmEng := cache.Wrap(gp)
+		if warmEng == gp {
+			return fmt.Errorf("%v: %s lacks neighbor extraction; cache wrap was a no-op", c, gp.Name())
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, phi := range cachedSweep {
+				q := c.query()
+				q.Phi = phi
+				want, bruteErr := core.Brute(env.G, q)
+				noResult := errors.Is(bruteErr, core.ErrNoResult)
+				if bruteErr != nil && !noResult {
+					return fmt.Errorf("%v: brute at φ=%v: %w", c, phi, bruteErr)
+				}
+				for _, algo := range algos {
+					label := fmt.Sprintf("cached/%s/%s pass=%d φ=%v", algo.name, gp.Name(), pass, phi)
+					cold, coldErr := algo.fn(env.G, gp, q)
+					warm, warmErr := algo.fn(env.G, warmEng, q)
+					if noResult {
+						if !errors.Is(warmErr, core.ErrNoResult) || !errors.Is(coldErr, core.ErrNoResult) {
+							return fmt.Errorf("%v: %s: cold err %v, warm err %v, brute says ErrNoResult",
+								c, label, coldErr, warmErr)
+						}
+						continue
+					}
+					if coldErr != nil || warmErr != nil {
+						return fmt.Errorf("%v: %s: cold err %v, warm err %v", c, label, coldErr, warmErr)
+					}
+					// The cached fold may sum sorted neighbors in a different
+					// order than the engine's native aggregation, so distances
+					// agree to tolerance, not bit-for-bit; Verify then pins the
+					// warm answer's subset to an independently recomputed g_φ.
+					if !closeTo(warm.Dist, cold.Dist) {
+						return fmt.Errorf("%v: %s: warm d* = %v, cold %v", c, label, warm.Dist, cold.Dist)
+					}
+					if !closeTo(warm.Dist, want.Dist) {
+						return fmt.Errorf("%v: %s: warm d* = %v, brute %v (p=%d vs %d)",
+							c, label, warm.Dist, want.Dist, warm.P, want.P)
+					}
+					if err := core.Verify(env.G, q, warm); err != nil {
+						return fmt.Errorf("%v: %s: warm answer fails Verify: %w", c, label, err)
+					}
+				}
+			}
+		}
+		if m := cache.Metrics(); m.HitsSubsume == 0 {
+			return fmt.Errorf("%v: %s: sweep recorded no subsumption hits: %+v", c, gp.Name(), m)
 		}
 	}
 	return nil

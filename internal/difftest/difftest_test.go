@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"fannr/internal/core"
 	"sync"
 	"testing"
 )
@@ -37,6 +38,40 @@ func TestDifferentialVsBrute(t *testing.T) {
 			for i := 0; i < casesPerEnv; i++ {
 				c := GenCase(spec.seed*10_000+int64(i), env.G)
 				if err := env.RunCase(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialCachedWarmCold is the qcache acceptance gate: seeded
+// cases run cold (raw engine) and warm (cache-wrapped) over a
+// descending-φ sweep, twice, and every warm answer must match the cold
+// answer and brute force — including the answers served as subsumption
+// hits from longer cached lists. Engines rotate per case to bound cost;
+// INE and one oracle engine run every case since they exercise the two
+// distinct KNearest implementations.
+func TestDifferentialCachedWarmCold(t *testing.T) {
+	casesPerEnv := 12
+	if testing.Short() {
+		casesPerEnv = 4
+	}
+	for _, spec := range envSpecs[:2] {
+		t.Run(string(rune('A'+spec.seed-11)), func(t *testing.T) {
+			t.Parallel()
+			env, err := NewEnv(spec.nodes, spec.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < casesPerEnv; i++ {
+				c := GenCase(spec.seed*20_000+int64(i), env.G)
+				engines := []core.GPhi{
+					env.Engines[0],                  // INE
+					env.Engines[2],                  // PHL oracle
+					env.Engines[i%len(env.Engines)], // rotating coverage
+				}
+				if err := env.RunCaseCached(c, engines); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/qcache"
+	"fannr/internal/workload"
+)
+
+// CacheBenchReport is the machine-readable report of the semantic-cache
+// benchmark (fannr-bench -cache; BENCH_PR5.json is one checked-in run).
+// It measures the two cache layers separately: exact result hits (a map
+// lookup replaces the whole query) and subsumption-assisted computes
+// (the result layer misses but every g_φ evaluation folds a cached
+// neighbor list, per the paper's "Revisitation of g_φ"). Latencies are
+// reported in fractional microseconds because warm hits are far below
+// the integer-microsecond floor.
+type CacheBenchReport struct {
+	Dataset  string  `json:"dataset"`
+	Nodes    int     `json:"nodes"`
+	Edges    int     `json:"edges"`
+	Scale    float64 `json:"scale"`
+	Seed     int64   `json:"seed"`
+	Engine   string  `json:"engine"`
+	Distinct int     `json:"distinct_queries"`
+	Requests int     `json:"requests"`
+	ZipfS    float64 `json:"zipf_s"`
+
+	HitsExact   int64   `json:"hits_exact"`
+	HitsSubsume int64   `json:"hits_subsume"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+
+	// Cold: fully uncached queries (the φ=1 first touch per base).
+	ColdP50Micros float64 `json:"cold_p50_micros"`
+	ColdP90Micros float64 `json:"cold_p90_micros"`
+	ColdP99Micros float64 `json:"cold_p99_micros"`
+	// Subsume: first touch of a lower-φ variant — result miss, every
+	// candidate's list already cached.
+	SubsumeP50Micros float64 `json:"subsume_p50_micros"`
+	SubsumeP90Micros float64 `json:"subsume_p90_micros"`
+	// Warm: exact result hits under the Zipf stream.
+	WarmHitP50Micros float64 `json:"warm_hit_p50_micros"`
+	WarmHitP90Micros float64 `json:"warm_hit_p90_micros"`
+	WarmHitP99Micros float64 `json:"warm_hit_p99_micros"`
+	// Saved: per warm request, that instance's first-touch latency minus
+	// the hit latency — the work the cache elided.
+	SavedP50Micros float64 `json:"saved_p50_micros"`
+	SavedP90Micros float64 `json:"saved_p90_micros"`
+
+	// SpeedupP50 = cold p50 / warm exact-hit p50.
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// cacheBenchPhis is the φ ladder each base (P, Q) instance is queried
+// at, descending so the φ=1 touch fills every candidate's full list and
+// the lower values exercise subsumption.
+var cacheBenchPhis = []float64{1.0, 0.5, 0.25}
+
+// cacheBenchRequests is the length of the Zipf-repeat request stream.
+const cacheBenchRequests = 2000
+
+// cacheBenchZipfS is the Zipf skew (s > 1; ~1.2 matches the mild
+// popularity skew of repeated map queries).
+const cacheBenchZipfS = 1.2
+
+// RunCacheBench measures the qcache layers over a Zipf-repeat workload:
+// cfg.Queries distinct (P, Q) bases × the φ ladder, first touched cold
+// (filling the cache), then cacheBenchRequests Zipf-distributed repeats
+// answered from the result layer. The INE engine keeps the bench free of
+// index construction and makes the cold baseline an honest network
+// expansion.
+func RunCacheBench(cfg Config) (*CacheBenchReport, error) {
+	cfg = cfg.withDefaults()
+	g, err := workload.LoadDataset(cfg.Dataset, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.NewGenerator(g, cfg.Seed)
+	params := workload.DefaultParams()
+
+	type instance struct {
+		q     core.Query
+		key   qcache.ResultKey
+		first time.Duration // first-touch latency (cold or subsume-assisted)
+	}
+	var insts []instance
+	for b := 0; b < cfg.Queries; b++ {
+		P := gen.UniformP(params.D)
+		Q := gen.UniformQ(params.A, params.M)
+		pfp, qfp := qcache.FingerprintNodes(P), qcache.FingerprintNodes(Q)
+		for _, phi := range cacheBenchPhis {
+			insts = append(insts, instance{
+				q: core.Query{P: P, Q: Q, Phi: phi, Agg: core.Max},
+				key: qcache.ResultKey{
+					Engine: "INE", Algo: "gd", Agg: core.Max,
+					Phi: phi, K: 1, P: pfp, Q: qfp,
+				},
+			})
+		}
+	}
+
+	cache := qcache.New(qcache.Config{MaxEntries: 4 * len(insts) * (len(cacheBenchPhis) + 1) * 64})
+	warmEng := cache.Wrap(core.NewINE(g))
+	run := func(inst *instance) (time.Duration, bool, error) {
+		start := time.Now()
+		if _, ok := cache.GetResult(inst.key); ok {
+			return time.Since(start), true, nil
+		}
+		ans, err := core.GD(g, warmEng, inst.q)
+		if err != nil {
+			return 0, false, err
+		}
+		cache.PutResult(inst.key, []core.Answer{ans})
+		return time.Since(start), false, nil
+	}
+
+	// Cold pass: φ descending within each base (the ladder order above).
+	var coldDurs, subsumeDurs []time.Duration
+	for i := range insts {
+		dur, hit, err := run(&insts[i])
+		if err != nil {
+			return nil, fmt.Errorf("exp: cache bench cold query %d: %w", i, err)
+		}
+		if hit {
+			return nil, fmt.Errorf("exp: cache bench cold query %d unexpectedly hit", i)
+		}
+		insts[i].first = dur
+		if insts[i].q.Phi == cacheBenchPhis[0] {
+			coldDurs = append(coldDurs, dur)
+		} else {
+			subsumeDurs = append(subsumeDurs, dur)
+		}
+	}
+
+	// Zipf stream over a shuffled rank→instance mapping, so popularity is
+	// not correlated with generation order.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	perm := rng.Perm(len(insts))
+	zipf := rand.NewZipf(rng, cacheBenchZipfS, 1, uint64(len(insts)-1))
+	var warmDurs, savedDurs []time.Duration
+	var hits, misses int64
+	for r := 0; r < cacheBenchRequests; r++ {
+		inst := &insts[perm[zipf.Uint64()]]
+		dur, hit, err := run(inst)
+		if err != nil {
+			return nil, fmt.Errorf("exp: cache bench warm request %d: %w", r, err)
+		}
+		if !hit {
+			misses++
+			continue
+		}
+		hits++
+		warmDurs = append(warmDurs, dur)
+		if saved := inst.first - dur; saved > 0 {
+			savedDurs = append(savedDurs, saved)
+		} else {
+			savedDurs = append(savedDurs, 0)
+		}
+	}
+
+	m := cache.Metrics()
+	report := &CacheBenchReport{
+		Dataset:     cfg.Dataset,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Engine:      "INE",
+		Distinct:    len(insts),
+		Requests:    cacheBenchRequests,
+		ZipfS:       cacheBenchZipfS,
+		HitsExact:   m.HitsExact,
+		HitsSubsume: m.HitsSubsume,
+		Misses:      m.MissesExact,
+		HitRate:     float64(hits) / float64(hits+misses),
+
+		ColdP50Micros: quantileMicrosF(coldDurs, 0.50),
+		ColdP90Micros: quantileMicrosF(coldDurs, 0.90),
+		ColdP99Micros: quantileMicrosF(coldDurs, 0.99),
+
+		SubsumeP50Micros: quantileMicrosF(subsumeDurs, 0.50),
+		SubsumeP90Micros: quantileMicrosF(subsumeDurs, 0.90),
+
+		WarmHitP50Micros: quantileMicrosF(warmDurs, 0.50),
+		WarmHitP90Micros: quantileMicrosF(warmDurs, 0.90),
+		WarmHitP99Micros: quantileMicrosF(warmDurs, 0.99),
+
+		SavedP50Micros: quantileMicrosF(savedDurs, 0.50),
+		SavedP90Micros: quantileMicrosF(savedDurs, 0.90),
+	}
+	if report.WarmHitP50Micros > 0 {
+		report.SpeedupP50 = report.ColdP50Micros / report.WarmHitP50Micros
+	}
+	return report, nil
+}
+
+// quantileMicrosF is the nearest-rank quantile of a sample in fractional
+// microseconds (sorts a copy; warm hits are well below 1µs).
+func quantileMicrosF(durs []time.Duration, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}

@@ -305,6 +305,36 @@ func TestGTreeLeafFor(t *testing.T) {
 // algorithm appears with sane quantiles (sorted, positive) and op counts
 // consistent with the algorithms' structure — GD evaluates all of P per
 // query, Exact-max exactly once per query.
+// TestRunCacheBench pins the -cache report contract on a tiny dataset:
+// every request after the cold pass hits, the list layer records
+// subsumption fills for the lower-φ ladder rungs, and the exact-hit path
+// is at least an order of magnitude faster than the cold computes (the
+// PR's acceptance bar, measured here at a scale where cold queries are
+// cheapest and the bar hardest to clear).
+func TestRunCacheBench(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 3
+	report, err := RunCacheBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Dataset != "DE" || report.Distinct != cfg.Queries*len(cacheBenchPhis) {
+		t.Fatalf("report header %+v", report)
+	}
+	if report.HitRate != 1 || report.HitsExact != int64(report.Requests) {
+		t.Fatalf("hit accounting: rate %v, exact %d of %d", report.HitRate, report.HitsExact, report.Requests)
+	}
+	if report.HitsSubsume == 0 {
+		t.Fatal("lower-φ cold fills recorded no subsumption hits")
+	}
+	if report.ColdP50Micros <= 0 || report.WarmHitP50Micros <= 0 {
+		t.Fatalf("degenerate quantiles: cold %v, warm %v", report.ColdP50Micros, report.WarmHitP50Micros)
+	}
+	if report.SpeedupP50 < 10 {
+		t.Fatalf("speedup p50 = %v, want ≥ 10×", report.SpeedupP50)
+	}
+}
+
 func TestRunBenchJSON(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Queries = 3

@@ -6,11 +6,13 @@ import (
 	"sync/atomic"
 )
 
-// DefBuckets are the default latency buckets in seconds, spanning 100µs
-// to 10s — a decade wider than Prometheus's defaults on the low end,
-// because the fast engines answer FANN queries in well under a
-// millisecond on the scaled datasets.
+// DefBuckets are the default latency buckets in seconds, spanning 5µs
+// to 10s — far below Prometheus's defaults on the low end, because the
+// fast engines answer FANN queries in well under a millisecond on the
+// scaled datasets and a semantic cache hit costs only a map lookup, so
+// sub-100µs resolution is where the interesting separation lives.
 var DefBuckets = []float64{
+	0.000005, 0.00001, 0.000025, 0.00005,
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }

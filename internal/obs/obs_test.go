@@ -73,6 +73,42 @@ fannr_requests_total{code="ok",route="/fann"} 3
 	}
 }
 
+// TestDefBucketsResolveSubMillisecondHits pins the default ladder's low
+// end. Semantic cache hits cost single-digit microseconds, so the
+// default buckets must separate them from cold sub-millisecond computes
+// instead of collapsing everything below 100µs into one bound — and the
+// exposition must render the fine bounds in Prometheus float syntax.
+func TestDefBucketsResolveSubMillisecondHits(t *testing.T) {
+	wantLow := []float64{0.000005, 0.00001, 0.000025, 0.00005, 0.0001}
+	for i, b := range wantLow {
+		if DefBuckets[i] != b {
+			t.Fatalf("DefBuckets[%d] = %v, want %v", i, DefBuckets[i], b)
+		}
+	}
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "", nil, L("route", "/fann"))
+	h.Observe(0.000004) // 4µs: exact cache hit
+	h.Observe(0.00003)  // 30µs: subsumption hit
+	h.Observe(0.0008)   // 800µs: cold compute
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`req_seconds_bucket{le="5e-06",route="/fann"} 1`,
+		`req_seconds_bucket{le="2.5e-05",route="/fann"} 1`,
+		`req_seconds_bucket{le="5e-05",route="/fann"} 2`,
+		`req_seconds_bucket{le="0.001",route="/fann"} 3`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 0.00005 {
+		t.Errorf("p50 of two cache hits + one compute = %v, want within the fine buckets", q)
+	}
+}
+
 // TestHandlerServesExposition exercises the /metrics HTTP path.
 func TestHandlerServesExposition(t *testing.T) {
 	r := NewRegistry()

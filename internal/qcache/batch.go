@@ -1,0 +1,207 @@
+package qcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fannr/internal/core"
+)
+
+// EngineSource is the slice of core.EnginePool the batch executor
+// needs: bounded checkout, return, and drop-on-panic.
+type EngineSource interface {
+	Acquire(ctx context.Context) (core.GPhi, error)
+	Release(core.GPhi)
+	Discard()
+}
+
+// Batcher groups queries that share a BatchKey (engine + query-point
+// set) arriving within a small window and runs the whole group on ONE
+// engine checkout, amortizing admission and letting the group share the
+// engine's warmed neighbor lists. Each member still evaluates its own
+// algorithm with its own Stats; batching changes scheduling, never
+// semantics.
+type Batcher struct {
+	window  time.Duration
+	maxSize int
+	source  func(engine string) EngineSource
+	onFlush func(size int) // observability hook: batch size at flush
+
+	mu      sync.Mutex
+	pending map[BatchKey]*batch
+}
+
+// NewBatcher builds a Batcher. window is the collection delay paid by
+// the first query of a group; maxSize (<=0 means 32) flushes a group
+// early when it fills. source resolves an engine name to its pool;
+// onFlush, when non-nil, observes the size of every flushed batch.
+func NewBatcher(window time.Duration, maxSize int, source func(engine string) EngineSource, onFlush func(int)) *Batcher {
+	if maxSize <= 0 {
+		maxSize = 32
+	}
+	return &Batcher{
+		window:  window,
+		maxSize: maxSize,
+		source:  source,
+		onFlush: onFlush,
+		pending: make(map[BatchKey]*batch),
+	}
+}
+
+type batchTask struct {
+	ctx context.Context
+	run func(core.GPhi) ([]core.Answer, error)
+	res chan taskResult // buffered(1): flush never blocks on a gone member
+}
+
+type taskResult struct {
+	answers []core.Answer
+	err     error
+}
+
+type batch struct {
+	tasks   []*batchTask
+	timer   *time.Timer
+	flushed bool
+}
+
+// Do submits run for execution under key and waits for its result or
+// ctx. run receives a Reset-ready engine checked out from the key's
+// pool; it executes on the flush goroutine, sequenced with the other
+// members of its batch.
+func (b *Batcher) Do(ctx context.Context, key BatchKey, run func(core.GPhi) ([]core.Answer, error)) ([]core.Answer, error) {
+	t := &batchTask{ctx: ctx, run: run, res: make(chan taskResult, 1)}
+	b.mu.Lock()
+	bt := b.pending[key]
+	if bt == nil {
+		bt = &batch{}
+		b.pending[key] = bt
+		bt.timer = time.AfterFunc(b.window, func() { b.flush(key, bt) })
+	}
+	bt.tasks = append(bt.tasks, t)
+	full := len(bt.tasks) >= b.maxSize
+	b.mu.Unlock()
+	if full {
+		go b.flush(key, bt)
+	}
+	select {
+	case r := <-t.res:
+		return r.answers, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flush retires bt from the pending map (exactly once, guarded against
+// the timer and the batch-full path racing) and runs it.
+func (b *Batcher) flush(key BatchKey, bt *batch) {
+	b.mu.Lock()
+	if bt.flushed {
+		b.mu.Unlock()
+		return
+	}
+	bt.flushed = true
+	if b.pending[key] == bt {
+		delete(b.pending, key)
+	}
+	bt.timer.Stop()
+	tasks := bt.tasks
+	b.mu.Unlock()
+	b.runBatch(key, tasks)
+}
+
+// runBatch executes tasks sequentially on one engine checkout. The
+// acquire context stays live while ANY member still wants its answer —
+// the batch is decoupled from any single member's cancellation. A task
+// panic poisons only that task: the engine is discarded, the task gets
+// an internal error, and the remainder of the batch continues on a
+// fresh checkout.
+func (b *Batcher) runBatch(key BatchKey, tasks []*batchTask) {
+	if b.onFlush != nil {
+		b.onFlush(len(tasks))
+	}
+	actx, cancel := allDoneContext(tasks)
+	defer cancel()
+	src := b.source(key.Engine)
+
+	deliverErr := func(ts []*batchTask, err error) {
+		for _, t := range ts {
+			t.res <- taskResult{err: err}
+		}
+	}
+
+	gp, err := src.Acquire(actx)
+	if err != nil {
+		deliverErr(tasks, err)
+		return
+	}
+	for i, t := range tasks {
+		if err := t.ctx.Err(); err != nil {
+			t.res <- taskResult{err: err}
+			continue
+		}
+		ans, err, panicked := runBatchTask(gp, t)
+		if panicked {
+			src.Discard()
+			t.res <- taskResult{err: fmt.Errorf("qcache: batched query panicked: %v", err)}
+			gp = nil
+			if i+1 < len(tasks) {
+				gp, err = src.Acquire(actx)
+				if err != nil {
+					deliverErr(tasks[i+1:], err)
+					return
+				}
+			}
+			continue
+		}
+		t.res <- taskResult{answers: ans, err: err}
+	}
+	if gp != nil {
+		src.Release(gp)
+	}
+}
+
+// runBatchTask runs one member, converting a panic into a reportable
+// value so the rest of the batch survives.
+func runBatchTask(gp core.GPhi, t *batchTask) (ans []core.Answer, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ans, err, panicked = nil, fmt.Errorf("%v", r), true
+		}
+	}()
+	ans, err = t.run(gp)
+	return ans, err, false
+}
+
+// allDoneContext returns a context canceled once every task's context is
+// done — the correct lifetime for work done on behalf of the whole
+// group. A member that can never be canceled keeps the group alive
+// unconditionally. The returned cancel releases the watchers and must be
+// called.
+func allDoneContext(tasks []*batchTask) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	for _, t := range tasks {
+		if t.ctx.Done() == nil {
+			return ctx, cancel
+		}
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(tasks)))
+	stops := make([]func() bool, 0, len(tasks))
+	for _, t := range tasks {
+		stops = append(stops, context.AfterFunc(t.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		}))
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}

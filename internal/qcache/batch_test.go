@@ -1,0 +1,204 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+)
+
+// fakeSource is an EngineSource handing out stub engines, counting
+// checkouts and discards.
+type fakeSource struct {
+	acquires atomic.Int64
+	releases atomic.Int64
+	discards atomic.Int64
+	err      error
+}
+
+func (s *fakeSource) Acquire(ctx context.Context) (core.GPhi, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.acquires.Add(1)
+	return &stubEngine{}, nil
+}
+func (s *fakeSource) Release(core.GPhi) { s.releases.Add(1) }
+func (s *fakeSource) Discard()          { s.discards.Add(1) }
+
+func batcherOver(src *fakeSource, window time.Duration, maxSize int, sizes *[]int) *Batcher {
+	var mu sync.Mutex
+	return NewBatcher(window, maxSize, func(string) EngineSource { return src }, func(n int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if sizes != nil {
+			*sizes = append(*sizes, n)
+		}
+	})
+}
+
+func bkey(engine string, q graph.NodeID) BatchKey {
+	return BatchKey{Engine: engine, Q: FingerprintNodes([]graph.NodeID{q})}
+}
+
+func TestBatcherGroupsByKey(t *testing.T) {
+	src := &fakeSource{}
+	var sizes []int
+	b := batcherOver(src, 30*time.Millisecond, 32, &sizes)
+
+	var wg sync.WaitGroup
+	run := func(key BatchKey, want int) {
+		defer wg.Done()
+		ans, err := b.Do(context.Background(), key, func(core.GPhi) ([]core.Answer, error) {
+			return []core.Answer{{P: graph.NodeID(want)}}, nil
+		})
+		if err != nil || len(ans) != 1 || ans[0].P != graph.NodeID(want) {
+			t.Errorf("task %d: ans=%v err=%v", want, ans, err)
+		}
+	}
+	wg.Add(3)
+	go run(bkey("E", 1), 10)
+	go run(bkey("E", 1), 11)
+	go run(bkey("E", 2), 12) // different Q: its own batch
+	wg.Wait()
+
+	if got := src.acquires.Load(); got != 2 {
+		t.Fatalf("acquires = %d, want 2 (one per group)", got)
+	}
+	if src.releases.Load() != 2 {
+		t.Fatalf("releases = %d", src.releases.Load())
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	if total != 3 || len(sizes) != 2 {
+		t.Fatalf("flush sizes %v", sizes)
+	}
+}
+
+func TestBatcherMaxSizeFlushesEarly(t *testing.T) {
+	src := &fakeSource{}
+	var sizes []int
+	b := batcherOver(src, time.Hour, 2, &sizes) // window never fires
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+				return nil, nil
+			}); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(sizes) != 1 || sizes[0] != 2 {
+		t.Fatalf("flush sizes %v, want one batch of 2", sizes)
+	}
+}
+
+func TestBatcherPanicIsolation(t *testing.T) {
+	src := &fakeSource{}
+	b := batcherOver(src, 20*time.Millisecond, 32, nil)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var boomErr, okErr error
+	go func() {
+		defer wg.Done()
+		_, boomErr = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+			panic("task exploded")
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond) // order the submissions: panicker first
+		_, okErr = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+			return nil, nil
+		})
+	}()
+	wg.Wait()
+	if boomErr == nil || !strings.Contains(boomErr.Error(), "task exploded") {
+		t.Fatalf("panicked task err = %v", boomErr)
+	}
+	if okErr != nil {
+		t.Fatalf("survivor err = %v", okErr)
+	}
+	if src.discards.Load() != 1 {
+		t.Fatalf("discards = %d", src.discards.Load())
+	}
+	// The poisoned engine was replaced for the survivor and released.
+	if src.acquires.Load() < 1 || src.releases.Load() != src.acquires.Load()-1 {
+		t.Fatalf("acquires=%d releases=%d", src.acquires.Load(), src.releases.Load())
+	}
+}
+
+func TestBatcherAcquireFailureDeliversToAll(t *testing.T) {
+	src := &fakeSource{err: core.ErrSaturated}
+	b := batcherOver(src, 10*time.Millisecond, 32, nil)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+				t.Error("task ran without an engine")
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, core.ErrSaturated) {
+			t.Fatalf("member %d err = %v", i, err)
+		}
+	}
+}
+
+func TestBatcherCanceledMemberSkipped(t *testing.T) {
+	src := &fakeSource{}
+	b := batcherOver(src, 30*time.Millisecond, 32, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var canceledErr error
+	var ran atomic.Bool
+	go func() {
+		defer wg.Done()
+		_, canceledErr = b.Do(ctx, bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+			ran.Store(true)
+			return nil, nil
+		})
+	}()
+	var okErr error
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		_, okErr = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+			return nil, nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel() // before the window closes
+	wg.Wait()
+	if !errors.Is(canceledErr, context.Canceled) {
+		t.Fatalf("canceled member err = %v", canceledErr)
+	}
+	if ran.Load() {
+		t.Fatalf("canceled member's task still ran")
+	}
+	if okErr != nil {
+		t.Fatalf("live member err = %v", okErr)
+	}
+}

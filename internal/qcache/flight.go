@@ -1,0 +1,88 @@
+package qcache
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight coalesces concurrent identical queries: among callers that
+// present the same ResultKey at the same time, one (the leader) runs the
+// computation and the rest (followers) wait for its outcome. Outcomes
+// are only shared when they are properties of the query itself — a
+// successful answer, or an error the shareable classifier accepts
+// (invalid query, no result). Per-caller outcomes (cancellation,
+// timeout, shed, panic) are never shared: the leader's call is retired
+// and one waiting follower is promoted to leader and recomputes, so a
+// canceled leader cannot poison its followers.
+type Flight struct {
+	shareable func(error) bool
+	mu        sync.Mutex
+	calls     map[ResultKey]*call
+}
+
+type call struct {
+	done   chan struct{}
+	val    any
+	err    error
+	shared bool
+}
+
+// NewFlight builds a Flight. shareable classifies error outcomes that
+// may be delivered to followers; nil means only successes are shared.
+func NewFlight(shareable func(error) bool) *Flight {
+	if shareable == nil {
+		shareable = func(error) bool { return false }
+	}
+	return &Flight{shareable: shareable, calls: make(map[ResultKey]*call)}
+}
+
+// Do executes fn once per key among concurrent callers, returning fn's
+// outcome and whether this caller was a follower served by another's
+// computation. A follower whose own ctx ends while waiting returns
+// ctx.Err() immediately. If the leader's outcome is unshareable the
+// follower loops and competes to become the next leader. fn panics
+// propagate to the leader alone; followers of a panicked leader are
+// promoted as if the leader had been canceled.
+func (f *Flight) Do(ctx context.Context, key ResultKey, fn func() (any, error)) (val any, err error, coalesced bool) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err, false
+		}
+		f.mu.Lock()
+		if c, ok := f.calls[key]; ok {
+			f.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.shared {
+					return c.val, c.err, true
+				}
+				continue // unshareable outcome: compete to lead
+			case <-ctx.Done():
+				return nil, ctx.Err(), false
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		f.calls[key] = c
+		f.mu.Unlock()
+
+		finished := false
+		func() {
+			defer func() {
+				if !finished {
+					// fn panicked: mark unshareable so followers retry,
+					// then let the panic continue to the leader's
+					// recovery machinery.
+					c.shared = false
+				}
+				f.mu.Lock()
+				delete(f.calls, key)
+				f.mu.Unlock()
+				close(c.done)
+			}()
+			c.val, c.err = fn()
+			c.shared = c.err == nil || f.shareable(c.err)
+			finished = true
+		}()
+		return c.val, c.err, false
+	}
+}

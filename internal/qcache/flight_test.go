@@ -1,0 +1,213 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var errShareable = errors.New("shareable outcome")
+
+func testFlight() *Flight {
+	return NewFlight(func(err error) bool { return errors.Is(err, errShareable) })
+}
+
+func fkey(s string) ResultKey { return ResultKey{Engine: s} }
+
+func TestFlightCoalescesConcurrentCallers(t *testing.T) {
+	f := testFlight()
+	var execs atomic.Int64
+	enter := make(chan struct{})
+	release := make(chan struct{})
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]int, followers+1)
+	coalesced := make([]bool, followers+1)
+	leaderIn := sync.OnceFunc(func() { close(enter) })
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, c := f.Do(context.Background(), fkey("k"), func() (any, error) {
+				execs.Add(1)
+				leaderIn()
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = v.(int)
+			coalesced[i] = c
+		}(i)
+	}
+	<-enter // leader is inside fn; wait for followers to pile up
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times", got)
+	}
+	nCoalesced := 0
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+		if coalesced[i] {
+			nCoalesced++
+		}
+	}
+	if nCoalesced != followers {
+		t.Fatalf("%d coalesced, want %d", nCoalesced, followers)
+	}
+}
+
+func TestFlightSharesClassifiedErrors(t *testing.T) {
+	f := testFlight()
+	var execs atomic.Int64
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err, _ := f.Do(context.Background(), fkey("k"), func() (any, error) {
+			execs.Add(1)
+			close(enter)
+			<-release
+			return nil, errShareable
+		})
+		if !errors.Is(err, errShareable) {
+			t.Errorf("leader err %v", err)
+		}
+	}()
+	<-enter
+	go func() {
+		defer wg.Done()
+		_, err, c := f.Do(context.Background(), fkey("k"), func() (any, error) {
+			execs.Add(1)
+			return nil, nil
+		})
+		if !errors.Is(err, errShareable) || !c {
+			t.Errorf("follower err=%v coalesced=%v", err, c)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if execs.Load() != 1 {
+		t.Fatalf("shareable error recomputed: %d execs", execs.Load())
+	}
+}
+
+func TestFlightCanceledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	f := testFlight()
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var execs atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := f.Do(leaderCtx, fkey("k"), func() (any, error) {
+			execs.Add(1)
+			close(leaderIn)
+			<-leaderCtx.Done() // a canceled computation reports the ctx error
+			return nil, leaderCtx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err %v", err)
+		}
+	}()
+	<-leaderIn
+
+	wg.Add(1)
+	var followerErr error
+	var followerVal any
+	go func() {
+		defer wg.Done()
+		followerVal, followerErr, _ = f.Do(context.Background(), fkey("k"), func() (any, error) {
+			execs.Add(1)
+			return "recomputed", nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // follower is waiting on the leader
+	cancelLeader()
+	wg.Wait()
+
+	if followerErr != nil || followerVal != "recomputed" {
+		t.Fatalf("follower got (%v, %v) — poisoned by canceled leader", followerVal, followerErr)
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("execs = %d, want 2 (leader + promoted follower)", execs.Load())
+	}
+}
+
+func TestFlightFollowerOwnCancellation(t *testing.T) {
+	f := testFlight()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go f.Do(context.Background(), fkey("k"), func() (any, error) {
+		close(leaderIn)
+		<-release
+		return 1, nil
+	})
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := f.Do(ctx, fkey("k"), func() (any, error) { return 2, nil })
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("follower did not honor its own cancellation")
+	}
+	close(release)
+}
+
+func TestFlightPanickingLeader(t *testing.T) {
+	f := testFlight()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("panic did not propagate to leader")
+			}
+		}()
+		f.Do(context.Background(), fkey("k"), func() (any, error) {
+			close(leaderIn)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-leaderIn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := f.Do(context.Background(), fkey("k"), func() (any, error) { return "ok", nil })
+		if err != nil || v != "ok" {
+			t.Errorf("follower after panic: (%v, %v)", v, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+}

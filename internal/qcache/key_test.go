@@ -1,0 +1,70 @@
+package qcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"fannr/internal/graph"
+)
+
+func TestFingerprintSetSemantics(t *testing.T) {
+	base := []graph.NodeID{9, 3, 17, 4, 256}
+	want := FingerprintNodes(base)
+
+	perm := []graph.NodeID{256, 4, 3, 17, 9}
+	if got := FingerprintNodes(perm); got != want {
+		t.Fatalf("permutation changed fingerprint: %v vs %v", got, want)
+	}
+	dup := []graph.NodeID{9, 3, 3, 17, 4, 256, 9, 9}
+	if got := FingerprintNodes(dup); got != want {
+		t.Fatalf("duplicates changed fingerprint: %v vs %v", got, want)
+	}
+	if got := FingerprintNodes([]graph.NodeID{9, 3, 17, 4}); got == want {
+		t.Fatalf("dropping an element kept the fingerprint")
+	}
+	if got := FingerprintNodes([]graph.NodeID{9, 3, 17, 4, 255}); got == want {
+		t.Fatalf("swapping an element kept the fingerprint")
+	}
+}
+
+func TestFingerprintNoAccidentalCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[Fingerprint][]graph.NodeID{}
+	for i := 0; i < 5000; i++ {
+		n := 1 + rng.Intn(12)
+		ids := make([]graph.NodeID, n)
+		for j := range ids {
+			ids[j] = graph.NodeID(rng.Intn(4096))
+		}
+		fp := FingerprintNodes(ids)
+		if prev, ok := seen[fp]; ok && !sameSet(prev, ids) {
+			t.Fatalf("collision: %v and %v -> %v", prev, ids, fp)
+		}
+		seen[fp] = append([]graph.NodeID(nil), ids...)
+	}
+}
+
+func sameSet(a, b []graph.NodeID) bool {
+	m := map[graph.NodeID]bool{}
+	for _, v := range a {
+		m[v] = true
+	}
+	n := map[graph.NodeID]bool{}
+	for _, v := range b {
+		if !m[v] {
+			return false
+		}
+		n[v] = true
+	}
+	return len(m) == len(n)
+}
+
+func TestShardOfInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		k := listKeyOf("INE", Fingerprint{Hi: rng.Uint64(), Lo: rng.Uint64()}, graph.NodeID(rng.Intn(1<<20)))
+		if s := shardOf(k); s < 0 || s >= numShards {
+			t.Fatalf("shard %d out of range", s)
+		}
+	}
+}

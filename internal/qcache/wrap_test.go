@@ -1,0 +1,140 @@
+package qcache
+
+import (
+	"math"
+	"testing"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/sp"
+)
+
+// stubEngine is a deterministic GPhi+NeighborSearcher over a fixed
+// neighbor table, counting substrate calls so tests can assert elision.
+type stubEngine struct {
+	table map[graph.NodeID][]sp.Neighbor
+	calls int
+}
+
+func (s *stubEngine) Name() string           { return "stub" }
+func (s *stubEngine) Reset(Q []graph.NodeID) {}
+func (s *stubEngine) knn(p graph.NodeID, k int) []sp.Neighbor {
+	s.calls++
+	nbrs := s.table[p]
+	if k > len(nbrs) {
+		k = len(nbrs)
+	}
+	return nbrs[:k]
+}
+func (s *stubEngine) Dist(p graph.NodeID, k int, agg core.Aggregate) (float64, bool) {
+	return core.AggSorted(s.knn(p, k), k, agg)
+}
+func (s *stubEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	for _, nb := range s.knn(p, k) {
+		dst = append(dst, nb.Node)
+	}
+	return dst
+}
+func (s *stubEngine) KNearest(p graph.NodeID, k int, dst []sp.Neighbor) []sp.Neighbor {
+	return append(dst, s.knn(p, k)...)
+}
+
+func TestWrapPassthroughWhenUnsupported(t *testing.T) {
+	var c *Cache
+	inner := &stubEngine{}
+	if got := c.Wrap(inner); got != core.GPhi(inner) {
+		t.Fatalf("nil cache should return inner unchanged")
+	}
+	c = New(Config{MaxEntries: 8})
+	type bare struct{ core.GPhi }
+	plain := bare{inner}
+	if got := c.Wrap(plain); got != core.GPhi(plain) {
+		t.Fatalf("engine without KNearest should pass through")
+	}
+}
+
+func TestWrapServesPrefixesAndCompleteLists(t *testing.T) {
+	c := New(Config{MaxEntries: 64})
+	stub := &stubEngine{table: map[graph.NodeID][]sp.Neighbor{
+		1: {{Node: 10, Dist: 1}, {Node: 11, Dist: 2}, {Node: 12, Dist: 3}},
+		2: {{Node: 10, Dist: 5}}, // only one member of Q reachable
+	}}
+	var stats core.Stats
+	w := c.Wrap(stub)
+	core.BindStats(w, &stats)
+	w.Reset([]graph.NodeID{10, 11, 12})
+
+	// Cold fill at k=3, then every k' ≤ 3 and the subset come from cache.
+	if d, ok := w.Dist(1, 3, core.Sum); !ok || d != 6 {
+		t.Fatalf("cold Dist = %v ok=%v", d, ok)
+	}
+	callsAfterFill := stub.calls
+	if d, ok := w.Dist(1, 2, core.Max); !ok || d != 2 {
+		t.Fatalf("warm Dist = %v ok=%v", d, ok)
+	}
+	if got := w.Subset(1, 3, nil); len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Fatalf("warm Subset = %v", got)
+	}
+	if nb := w.(core.NeighborSearcher).KNearest(1, 1, nil); len(nb) != 1 || nb[0].Node != 10 {
+		t.Fatalf("warm KNearest = %v", nb)
+	}
+	if stub.calls != callsAfterFill {
+		t.Fatalf("warm lookups reached the engine: %d calls after %d", stub.calls, callsAfterFill)
+	}
+	if stats.CacheHits != 3 || stats.CacheMisses != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+
+	// Unreachable tail: k=4 asked, 1 returned, marked complete — a later
+	// k=2 is answered from the complete list without recompute and the
+	// fold still reports unreachable.
+	if d, ok := w.Dist(2, 4, core.Max); ok || !math.IsInf(d, 1) {
+		t.Fatalf("unreachable Dist = %v ok=%v", d, ok)
+	}
+	calls := stub.calls
+	if d, ok := w.Dist(2, 2, core.Max); ok || !math.IsInf(d, 1) {
+		t.Fatalf("unreachable warm Dist = %v ok=%v", d, ok)
+	}
+	if got := w.Subset(2, 2, nil); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("unreachable Subset = %v", got)
+	}
+	if stub.calls != calls {
+		t.Fatalf("complete list not reused")
+	}
+}
+
+func TestWrapAgreesWithRawEngines(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 200, Seed: 77, Name: "wrap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []core.GPhi{core.NewINE(g), core.NewOracleGPhi("A*", sp.NewAStar(g))}
+	P := []graph.NodeID{3, 17, 42, 99, 140, 181}
+	Q := []graph.NodeID{5, 60, 120, 150, 199}
+	for _, raw := range engines {
+		c := New(Config{MaxEntries: 1024})
+		for pass := 0; pass < 2; pass++ {
+			// Descending φ so pass 0 fills at the largest k and smaller k
+			// are subsumption hits even within the first pass.
+			for _, phi := range []float64{1.0, 0.75, 0.5, 0.25, 0.01} {
+				q := core.Query{P: P, Q: Q, Phi: phi, Agg: core.Sum}
+				want, errW := core.GD(g, raw, q)
+				warm := c.Wrap(raw)
+				got, errG := core.GD(g, warm, q)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("%s φ=%v: err %v vs %v", raw.Name(), phi, errW, errG)
+				}
+				if errW != nil {
+					continue
+				}
+				if got.P != want.P || math.Abs(got.Dist-want.Dist) > 1e-9*(1+want.Dist) {
+					t.Fatalf("%s φ=%v: warm (%d, %v) vs raw (%d, %v)",
+						raw.Name(), phi, got.P, got.Dist, want.P, want.Dist)
+				}
+			}
+		}
+		if m := c.Metrics(); m.HitsSubsume == 0 {
+			t.Fatalf("%s: no subsumption hits recorded: %+v", raw.Name(), m)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/obs"
+)
+
+// cacheServer builds a server over a small generated graph with the
+// acceleration options under test. Unlike testServer it keeps only the
+// built-in engines, so pool assertions see exactly the traffic the test
+// generates.
+func cacheServer(t *testing.T, opts Options) (*Server, *httptest.Server, *graph.Graph) {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{Nodes: 400, Seed: 31, Name: "cache"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, g
+}
+
+// TestCacheExactHit: the second identical request is answered from the
+// result cache — same answers, no second compute observation, and the
+// exact-hit counter moves on /metrics, /meta and /readyz.
+func TestCacheExactHit(t *testing.T) {
+	_, ts, _ := cacheServer(t, Options{CacheEntries: 256})
+	req := FANNRequest{
+		P: []graph.NodeID{10, 20, 30, 40}, Q: []graph.NodeID{100, 200, 300},
+		Phi: 0.5, Engine: "INE",
+	}
+	status, cold := post[FANNResponse](t, ts.URL+"/fann", req)
+	if status != http.StatusOK {
+		t.Fatalf("cold status %d", status)
+	}
+	status, warm := post[FANNResponse](t, ts.URL+"/fann", req)
+	if status != http.StatusOK {
+		t.Fatalf("warm status %d", status)
+	}
+	if len(warm.Answers) != len(cold.Answers) || warm.Answers[0].P != cold.Answers[0].P ||
+		warm.Answers[0].Dist != cold.Answers[0].Dist {
+		t.Fatalf("warm answers %+v differ from cold %+v", warm.Answers, cold.Answers)
+	}
+
+	sc := scrapeMetrics(t, ts.URL)
+	if v, ok := sc.Value(mCacheHits, obs.L("kind", "exact")); !ok || v != 1 {
+		t.Fatalf("%s{kind=exact} = %v (ok=%v), want 1", mCacheHits, v, ok)
+	}
+	// The exact hit skips the engine: exactly one compute observation.
+	if v, ok := sc.Value("fannr_query_compute_seconds_count", obs.L("engine", "INE")); !ok || v != 1 {
+		t.Fatalf("compute count = %v (ok=%v), want 1", v, ok)
+	}
+
+	_, meta := getJSON(t, ts.URL+"/meta")
+	mc, ok := meta["cache"].(map[string]any)
+	if !ok || mc["enabled"] != true {
+		t.Fatalf("/meta cache = %v", meta["cache"])
+	}
+	if e, ok := mc["entries"].(float64); !ok || e < 1 {
+		t.Fatalf("/meta cache.entries = %v", mc["entries"])
+	}
+	if hr, ok := mc["hit_rate"].(float64); !ok || hr <= 0 || hr > 1 {
+		t.Fatalf("/meta cache.hit_rate = %v", mc["hit_rate"])
+	}
+
+	_, ready := getJSON(t, ts.URL+"/readyz")
+	rc, ok := ready["cache"].(map[string]any)
+	if !ok || rc["enabled"] != true {
+		t.Fatalf("/readyz cache = %v", ready["cache"])
+	}
+	if _, ok := rc["hit_rate"].(float64); !ok {
+		t.Fatalf("/readyz cache lacks hit_rate: %v", rc)
+	}
+}
+
+// TestCacheSubsumeAcrossPhi: after a φ=1.0 query fills the per-candidate
+// neighbor lists, lower-φ queries over the same P/Q are answered with
+// subsumption hits and still agree with brute force exactly.
+func TestCacheSubsumeAcrossPhi(t *testing.T) {
+	_, ts, g := cacheServer(t, Options{CacheEntries: 4096})
+	P := []graph.NodeID{3, 17, 42, 99, 140, 181}
+	Q := []graph.NodeID{5, 60, 120, 150, 199}
+	for _, phi := range []float64{1.0, 0.75, 0.5, 0.25} {
+		req := FANNRequest{P: P, Q: Q, Phi: phi, Agg: "sum", Engine: "INE"}
+		status, got := post[FANNResponse](t, ts.URL+"/fann", req)
+		if status != http.StatusOK {
+			t.Fatalf("φ=%v status %d", phi, status)
+		}
+		want, err := core.Brute(g, core.Query{P: P, Q: Q, Phi: phi, Agg: core.Sum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Answers) != 1 || got.Answers[0].P != want.P ||
+			math.Abs(got.Answers[0].Dist-want.Dist) > 1e-6*(1+want.Dist) {
+			t.Fatalf("φ=%v: got %+v, want (%d, %v)", phi, got.Answers, want.P, want.Dist)
+		}
+	}
+	sc := scrapeMetrics(t, ts.URL)
+	if v, ok := sc.Value(mCacheHits, obs.L("kind", "subsume")); !ok || v == 0 {
+		t.Fatalf("%s{kind=subsume} = %v (ok=%v), want > 0", mCacheHits, v, ok)
+	}
+}
+
+// TestCoalesceCollapsesDuplicates: concurrent identical requests against
+// a slow engine share one computation — every response carries the same
+// answer, the engine evaluated each candidate once, and the coalesced
+// counter records the followers.
+func TestCoalesceCollapsesDuplicates(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 200, Seed: 11, Name: "coal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &slowEngine{inner: core.NewINE(g), delay: 5 * time.Millisecond, firstDist: make(chan struct{})}
+	srv, err := New(g, Options{Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddEngine("Slow", func() core.GPhi { return eng }); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	req := FANNRequest{
+		P: []graph.NodeID{2, 40, 80, 120}, Q: []graph.NodeID{5, 25, 125},
+		Phi: 0.5, Engine: "Slow",
+	}
+	const clients = 4
+	var wg sync.WaitGroup
+	answers := make([]FANNResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, resp := post[FANNResponse](t, ts.URL+"/fann", req)
+			if status != http.StatusOK {
+				t.Errorf("client %d status %d", i, status)
+				return
+			}
+			answers[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		a, b := answers[i].Answers[0], answers[0].Answers[0]
+		if a.P != b.P || a.Dist != b.Dist {
+			t.Fatalf("client %d answer %+v differs from %+v", i, a, b)
+		}
+	}
+	if calls := eng.calls.Load(); calls != int64(len(req.P)) {
+		t.Fatalf("engine evaluated %d candidates, want %d (one shared compute)", calls, len(req.P))
+	}
+	sc := scrapeMetrics(t, ts.URL)
+	if v, ok := sc.Value(mCoalesced); !ok || v != clients-1 {
+		t.Fatalf("%s = %v (ok=%v), want %d", mCoalesced, v, ok, clients-1)
+	}
+}
+
+// TestBatchWindowGroupsSharedQ: with a batch window configured,
+// concurrent distinct-P queries over the same Q ride one engine checkout
+// and the batch-size histogram observes a multi-query flush.
+func TestBatchWindowGroupsSharedQ(t *testing.T) {
+	srv, ts, _ := cacheServer(t, Options{CacheEntries: 256, BatchWindow: 25 * time.Millisecond})
+	Q := []graph.NodeID{7, 70, 170}
+	const clients = 3
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := FANNRequest{
+				P: []graph.NodeID{graph.NodeID(10 + i*30), graph.NodeID(200 + i)}, Q: Q,
+				Phi: 1.0, Engine: "INE",
+			}
+			if status, _ := post[FANNResponse](t, ts.URL+"/fann", req); status != http.StatusOK {
+				t.Errorf("client %d status %d", i, status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	sc := scrapeMetrics(t, ts.URL)
+	flushes, ok := sc.Value("fannr_batch_size_count")
+	if !ok || flushes == 0 {
+		t.Fatalf("fannr_batch_size_count = %v (ok=%v), want > 0", flushes, ok)
+	}
+	queries, _ := sc.Value("fannr_batch_size_sum")
+	if queries != clients {
+		t.Fatalf("fannr_batch_size_sum = %v, want %d", queries, clients)
+	}
+	if flushes == clients {
+		t.Logf("all %d queries flushed alone (timing-dependent); grouping not observed this run", clients)
+	}
+	created, _, _ := srv.pools["INE"].Stats()
+	if created > clients {
+		t.Fatalf("pool created %d engines for %d batched queries", created, clients)
+	}
+}

@@ -38,7 +38,19 @@ const (
 	mBreakerTrips   = "fannr_breaker_trips_total"
 	mDraining       = "fannr_draining"
 	mUptime         = "fannr_uptime_seconds"
+	mCacheHits      = "fannr_cache_hits_total"
+	mCacheMisses    = "fannr_cache_misses_total"
+	mCacheEvictions = "fannr_cache_evictions_total"
+	mCacheEntries   = "fannr_cache_entries"
+	mCacheBytes     = "fannr_cache_bytes"
+	mCoalesced      = "fannr_coalesced_total"
+	mBatchSize      = "fannr_batch_size"
 )
+
+// batchSizeBuckets bound the fannr_batch_size histogram: batch sizes are
+// small integers, so the buckets are powers of two up to the default
+// BatchMax.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32}
 
 // engineMetrics is the per-engine handle set, prefetched once at freeze
 // time so the request path records op counts with plain atomic adds — no
@@ -73,6 +85,8 @@ type serverMetrics struct {
 	reg            *obs.Registry
 	engines        map[string]*engineMetrics
 	requestSeconds map[string]*obs.Histogram // by route label
+	coalesced      *obs.Counter              // nil when coalescing is off
+	batchSize      *obs.Histogram            // nil when batching is off
 }
 
 // breakerStateValue maps breaker states onto the gauge scale operators
@@ -200,6 +214,34 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		})
 	reg.GaugeFunc(mUptime, "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
+	// The cache series read the qcache counters through Func handles —
+	// /meta and /metrics then necessarily agree. Registered only when the
+	// matching layer is on, so a cache-less deployment's scrape is
+	// byte-identical to PR 4's.
+	if qc := s.qc; qc != nil {
+		reg.CounterFunc(mCacheHits, "Cache hits by kind: exact result reuse or neighbor-list subsumption.",
+			func() float64 { return float64(qc.Metrics().HitsExact) }, obs.L("kind", "exact"))
+		reg.CounterFunc(mCacheHits, "Cache hits by kind: exact result reuse or neighbor-list subsumption.",
+			func() float64 { return float64(qc.Metrics().HitsSubsume) }, obs.L("kind", "subsume"))
+		reg.CounterFunc(mCacheMisses, "Cache misses by kind (lookups that had to compute).",
+			func() float64 { return float64(qc.Metrics().MissesExact) }, obs.L("kind", "exact"))
+		reg.CounterFunc(mCacheMisses, "Cache misses by kind (lookups that had to compute).",
+			func() float64 { return float64(qc.Metrics().MissesList) }, obs.L("kind", "subsume"))
+		reg.CounterFunc(mCacheEvictions, "Cache entries evicted by the LRU.",
+			func() float64 { return float64(qc.Metrics().Evictions) })
+		reg.GaugeFunc(mCacheEntries, "Live cache entries (results + neighbor lists).",
+			func() float64 { return float64(qc.Metrics().Entries) })
+		reg.GaugeFunc(mCacheBytes, "Approximate bytes held by live cache entries.",
+			func() float64 { return float64(qc.Metrics().Bytes) })
+	}
+	if s.flight != nil {
+		m.coalesced = reg.Counter(mCoalesced,
+			"Requests answered by another in-flight identical query's computation.")
+	}
+	if s.batcher != nil {
+		m.batchSize = reg.Histogram(mBatchSize,
+			"Queries evaluated per batch-executor flush.", batchSizeBuckets)
+	}
 	return m
 }
 

@@ -116,10 +116,24 @@ func TestMetaSchemaAndRegistryAgreement(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, key := range []string{"dataset", "nodes", "edges", "coords", "engines", "pools", "dist", "limits", "fallback", "draining"} {
+	for _, key := range []string{"dataset", "nodes", "edges", "coords", "engines", "pools", "dist", "limits", "fallback", "draining", "cache"} {
 		if _, ok := meta[key]; !ok {
 			t.Fatalf("/meta lost top-level key %q: %v", key, meta)
 		}
+	}
+	// testServer runs with acceleration off: the cache section must still
+	// be present, with every layer reported disabled.
+	cache, ok := meta["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("/meta cache is %T, want object", meta["cache"])
+	}
+	for _, key := range []string{"enabled", "coalescing", "batching"} {
+		if on, ok := cache[key].(bool); !ok || on {
+			t.Fatalf("/meta cache.%s = %v (ok=%v), want false", key, cache[key], ok)
+		}
+	}
+	if _, ok := cache["entries"]; ok {
+		t.Fatalf("/meta cache reports entries while disabled: %v", cache)
 	}
 	pools, ok := meta["pools"].(map[string]any)
 	if !ok {

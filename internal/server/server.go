@@ -30,6 +30,7 @@ import (
 	"fannr/internal/core"
 	"fannr/internal/graph"
 	"fannr/internal/obs"
+	"fannr/internal/qcache"
 	"fannr/internal/resil"
 	"fannr/internal/sp"
 )
@@ -96,6 +97,30 @@ type Options struct {
 	// id, engine, outcome, stage timings). nil discards the records, so
 	// tests and benchmarks stay quiet by default.
 	Logger *slog.Logger
+	// CacheEntries enables the query-acceleration cache (internal/qcache)
+	// with this many entries shared between final results and per-
+	// candidate neighbor lists; 0 disables caching entirely. The cache
+	// sits between admission and engine compute: shed, breaker and
+	// degraded semantics are unchanged, and half-open probes always
+	// bypass it so a cache hit can never fake an engine recovery.
+	CacheEntries int
+	// CacheTTL expires cache entries (0 = entries live until evicted).
+	// The in-process indexes are immutable, so a TTL only matters to
+	// operators refreshing the world out-of-band.
+	CacheTTL time.Duration
+	// Coalesce dedups concurrent identical /fann queries: one engine
+	// checkout computes, the rest share its outcome. Per-request errors
+	// (cancellation, shed) are never shared — a waiting follower is
+	// promoted and recomputes.
+	Coalesce bool
+	// BatchWindow groups /fann queries that share an engine and a query
+	// point set arriving within the window onto one engine checkout,
+	// evaluated in one pass (0 disables batching). The first query of a
+	// group pays the window as added latency.
+	BatchWindow time.Duration
+	// BatchMax flushes a batch early once it holds this many queries
+	// (0 = 32).
+	BatchMax int
 }
 
 // Server answers FANN_R queries over HTTP.
@@ -134,6 +159,12 @@ type Server struct {
 	reg     *obs.Registry
 	logger  *slog.Logger
 	pprof   bool
+	// qc/flight/batcher are the acceleration layers, each independently
+	// optional (nil = off). All three are keyed by canonical query
+	// fingerprints, so permuted-but-equal P/Q share entries and flights.
+	qc      *qcache.Cache
+	flight  *qcache.Flight
+	batcher *qcache.Batcher
 }
 
 // New builds a server over g.
@@ -168,6 +199,23 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 	}
 	s.dist.New = func() any { return sp.NewDijkstra(g) }
 	s.distGate = core.NewGate("dist", s.limits)
+	s.qc = qcache.New(qcache.Config{MaxEntries: opts.CacheEntries, TTL: opts.CacheTTL})
+	if opts.Coalesce {
+		// Invalid-query and no-result outcomes are properties of the query
+		// and safe to share; everything else is per-caller.
+		s.flight = qcache.NewFlight(func(err error) bool {
+			return errors.Is(err, core.ErrInvalid) || errors.Is(err, core.ErrNoResult)
+		})
+	}
+	if opts.BatchWindow > 0 {
+		s.batcher = qcache.NewBatcher(opts.BatchWindow, opts.BatchMax,
+			func(name string) qcache.EngineSource { return s.pools[name] },
+			func(n int) {
+				if m := s.metrics; m != nil && m.batchSize != nil {
+					m.batchSize.Observe(float64(n))
+				}
+			})
+	}
 	reg := func(name string, factory core.EngineFactory) {
 		s.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, factory)
 		s.breakers[name] = s.newBreaker()
@@ -443,18 +491,34 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			open[name] = st.String()
 		}
 	}
+	cache := map[string]any{"enabled": s.qc != nil}
+	if cm := s.qc.Metrics(); s.qc != nil {
+		cache["entries"] = cm.Entries
+		cache["hit_rate"] = cacheHitRate(cm)
+	}
 	switch {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "draining", "breakers": open,
+			"status": "draining", "breakers": open, "cache": cache,
 		})
 	case len(open) > 0:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "degraded", "breakers": open,
+			"status": "degraded", "breakers": open, "cache": cache,
 		})
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "cache": cache})
 	}
+}
+
+// cacheHitRate folds a cache snapshot into the fraction of lookups (both
+// layers) answered from memory; 0 before any lookup.
+func cacheHitRate(cm qcache.Metrics) float64 {
+	hits := cm.HitsExact + cm.HitsSubsume
+	total := hits + cm.MissesExact + cm.MissesList
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
@@ -479,6 +543,22 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	distInflight, distQueued, distShed := val(mDistInflight), val(mDistQueued), val(mDistShed)
+	// The cache section is always present so clients can probe capability
+	// from the shape alone; the counters mirror the fannr_cache_* series
+	// (both read the same qcache snapshot).
+	cache := map[string]any{
+		"enabled":    s.qc != nil,
+		"coalescing": s.flight != nil,
+		"batching":   s.batcher != nil,
+	}
+	if cm := s.qc.Metrics(); s.qc != nil {
+		cache["entries"] = cm.Entries
+		cache["bytes"] = cm.Bytes
+		cache["hits"] = cm.HitsExact + cm.HitsSubsume
+		cache["misses"] = cm.MissesExact + cm.MissesList
+		cache["evictions"] = cm.Evictions
+		cache["hit_rate"] = cacheHitRate(cm)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": s.g.Name(),
 		"nodes":   s.g.NumNodes(),
@@ -492,6 +572,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 		"limits":   map[string]int{"max_inflight": s.limits.MaxInFlight, "queue_depth": s.limits.QueueDepth},
 		"fallback": s.fallback,
 		"draining": s.draining.Load(),
+		"cache":    cache,
 	})
 }
 
@@ -541,6 +622,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	outcome := "ok"
 	served, degraded := "", false
+	cacheKind := "" // "exact" | "coalesced" | "" (computed or cache off)
 	var req FANNRequest
 	var q core.Query
 	defer func() {
@@ -562,6 +644,9 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			slog.Int64("gphi_evals", stats.GPhiEvals),
 			slog.Int64("settled", stats.Settled),
 			slog.Int64("heap_pops", stats.HeapPops),
+			slog.String("cache", cacheKind),
+			slog.Int64("cache_hits", stats.CacheHits),
+			slog.Int64("cache_misses", stats.CacheMisses),
 		)
 	}()
 	// failq classifies, records the outcome code, and writes the error.
@@ -651,54 +736,157 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	// Bounded admission: wait in the pool's queue up to the deadline;
-	// saturation beyond the queue sheds with 503 + Retry-After.
-	endAdmit := tr.Start("admit")
-	gp, err := pool.Acquire(ctx)
-	endAdmit()
+	// Acceleration layers: canonical fingerprints make permuted-but-equal
+	// P/Q share cache entries, flights and batches. Half-open probes
+	// bypass every layer — a probe exists to exercise the engine, and a
+	// cache hit or shared flight would "prove" recovery without touching
+	// it (the deferred guard above fails an unreported probe).
+	accel := (s.qc != nil || s.flight != nil || s.batcher != nil) && !probe
+	var rkey qcache.ResultKey
+	if accel {
+		algo := req.Algo
+		if algo == "" {
+			algo = "gd"
+		}
+		rkey = qcache.ResultKey{
+			Engine: served, Algo: algo, Agg: q.Agg, Phi: q.Phi, K: req.K,
+			P: qcache.FingerprintNodes(q.P), Q: qcache.FingerprintNodes(q.Q),
+		}
+	}
+
+	// Exact result hit: answer without an engine checkout. The breaker is
+	// not consulted — serving from memory says nothing about the engine.
+	if accel {
+		if cached, ok := s.qc.GetResult(rkey); ok {
+			stats.CountCacheHit()
+			cacheKind = "exact"
+			if degraded {
+				em.degraded.Inc()
+			}
+			resp := FANNResponse{Micros: time.Since(start).Microseconds(), Engine: served, Degraded: degraded}
+			for _, a := range cached {
+				resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	var computeMicros int64
+
+	// runQuery performs one real engine checkout and evaluation: bounded
+	// admission, stats binding, dispatch through the cache wrapper, and
+	// result-cache fill. It runs on this goroutine — directly, or as a
+	// flight leader on behalf of coalesced followers. When batching is on
+	// the checkout is delegated to the batch executor, which amortizes
+	// one admission across every query sharing (engine, Q) in the window.
+	runQuery := func() ([]core.Answer, error) {
+		if s.batcher != nil && accel {
+			endCompute := tr.Start("compute")
+			computeStart := time.Now()
+			answers, err := s.batcher.Do(ctx, qcache.BatchKey{Engine: served, Q: rkey.Q}, func(gp core.GPhi) ([]core.Answer, error) {
+				stop := q.BindContext(ctx)
+				defer stop()
+				eng := s.qc.Wrap(gp) // nil-safe: gp unchanged when caching is off
+				core.BindStats(eng, stats)
+				defer core.BindStats(gp, nil)
+				return s.dispatch(req.Algo, eng, q, req.K)
+			})
+			endCompute()
+			computeMicros = time.Since(computeStart).Microseconds()
+			em.compute.Observe(time.Since(computeStart).Seconds())
+			em.flush(stats)
+			if err == nil {
+				s.qc.PutResult(rkey, answers)
+			}
+			return answers, err
+		}
+
+		// Bounded admission: wait in the pool's queue up to the deadline;
+		// saturation beyond the queue sheds with 503 + Retry-After.
+		endAdmit := tr.Start("admit")
+		gp, err := pool.Acquire(ctx)
+		endAdmit()
+		if err != nil {
+			return nil, err
+		}
+
+		stop := q.BindContext(ctx)
+		defer stop()
+
+		// Attribute the engine's internal settles to this request's Stats.
+		// Pooled engines MUST be unbound before going back to the free
+		// list: a stale binding would let the next request write into this
+		// one's finished Stats. The cache wrapper is per-request state
+		// around the pooled engine; a probe skips it so every evaluation
+		// exercises the real substrate.
+		eng := gp
+		if accel {
+			eng = s.qc.Wrap(gp)
+		}
+		core.BindStats(eng, stats)
+
+		computeStart := time.Now()
+		endCompute := tr.Start("compute")
+		var answers []core.Answer
+		completed := false
+		defer func() {
+			em.flush(stats)
+			if completed {
+				core.BindStats(gp, nil)
+				pool.Release(gp)
+				return
+			}
+			// On panic the engine's internal state is suspect: drop it for
+			// the GC instead of poisoning the free list (recoverPanics
+			// answers 500), and feed the breaker so repeated blowups open
+			// it.
+			outcome = "internal"
+			pool.Discard()
+			report(false)
+		}()
+		answers, err = s.dispatch(req.Algo, eng, q, req.K)
+		completed = true
+		endCompute()
+		elapsed := time.Since(computeStart)
+		computeMicros = elapsed.Microseconds()
+		em.compute.Observe(elapsed.Seconds())
+		if err == nil {
+			s.qc.PutResult(rkey, answers)
+		}
+		return answers, err
+	}
+
+	// Coalescing: concurrent identical queries share one runQuery. The
+	// leader executes here; followers wait and adopt shareable outcomes.
+	// A follower never reports to the breaker (it ran nothing) and a
+	// canceled or panicking leader promotes a follower instead of
+	// poisoning it.
+	var answers []core.Answer
+	var err error
+	coalesced := false
+	if s.flight != nil && accel {
+		var v any
+		v, err, coalesced = s.flight.Do(ctx, rkey, func() (any, error) { return runQuery() })
+		if v != nil {
+			answers = v.([]core.Answer)
+		}
+		if coalesced {
+			cacheKind = "coalesced"
+			stats.CountCacheHit()
+			if m := s.metrics.coalesced; m != nil {
+				m.Inc()
+			}
+		}
+	} else {
+		answers, err = runQuery()
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrSaturated) {
 			outcome = "overloaded"
 			s.shed(w, err)
 			return
 		}
-		failq(err)
-		return
-	}
-
-	stop := q.BindContext(ctx)
-	defer stop()
-
-	// Attribute the engine's internal settles to this request's Stats.
-	// Pooled engines MUST be unbound before going back to the free list:
-	// a stale binding would let the next request write into this one's
-	// finished Stats.
-	core.BindStats(gp, stats)
-
-	computeStart := time.Now()
-	endCompute := tr.Start("compute")
-	var answers []core.Answer
-	completed := false
-	defer func() {
-		em.flush(stats)
-		if completed {
-			core.BindStats(gp, nil)
-			pool.Release(gp)
-			return
-		}
-		// On panic the engine's internal state is suspect: drop it for the
-		// GC instead of poisoning the free list (recoverPanics answers
-		// 500), and feed the breaker so repeated blowups open it.
-		outcome = "internal"
-		pool.Discard()
-		report(false)
-	}()
-	answers, err = s.dispatch(req.Algo, gp, q, req.K)
-	completed = true
-	endCompute()
-	elapsed := time.Since(computeStart)
-	em.compute.Observe(elapsed.Seconds())
-	if err != nil {
 		if errors.Is(err, core.ErrCanceled) {
 			// Attribute the abort: a server-side deadline is a 504 the
 			// client will read; a vanished client just gets the connection
@@ -710,20 +898,29 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		// Client-fault and no-result outcomes prove the engine worked;
 		// internal errors count against it. Timeouts prove nothing —
 		// except for a probe, which the deferred guard above fails.
-		switch status, _ := errStatus(err); status {
-		case http.StatusInternalServerError:
-			report(false)
-		case http.StatusBadRequest, http.StatusNotFound:
-			report(true)
+		// Coalesced followers never report: they ran nothing.
+		if !coalesced {
+			switch status, _ := errStatus(err); status {
+			case http.StatusInternalServerError:
+				report(false)
+			case http.StatusBadRequest, http.StatusNotFound:
+				report(true)
+			}
 		}
 		failq(err)
 		return
 	}
-	report(true)
+	if !coalesced {
+		report(true)
+	}
 	if degraded {
 		em.degraded.Inc()
 	}
-	resp := FANNResponse{Micros: elapsed.Microseconds(), Engine: served, Degraded: degraded}
+	micros := computeMicros
+	if coalesced {
+		micros = time.Since(start).Microseconds()
+	}
+	resp := FANNResponse{Micros: micros, Engine: served, Degraded: degraded}
 	for _, a := range answers {
 		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
 	}
