@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-cache bench-overhead
+.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -25,7 +25,8 @@ race:
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
 		./internal/resil/... ./internal/gtree/... ./internal/ch/... \
 		./internal/par/... ./internal/workload/... ./internal/difftest/... \
-		./internal/obs/... ./internal/qcache/...
+		./internal/obs/... ./internal/qcache/... \
+		./internal/phl/... ./internal/sp/... ./internal/rtree/...
 
 ## Race detector over everything, full-size tests (slow).
 race-full:
@@ -78,3 +79,16 @@ bench-cache:
 ## pointer tests only) vs. enabled. The disabled column is the §11 budget.
 bench-overhead:
 	$(GO) test -run - -bench 'GDStats' -benchtime 1000x ./internal/core/
+
+## Hot-path benchmark: batched one-to-many distance lookups vs the
+## per-pair baseline for every batching engine; BENCH_PR6.json is the
+## checked-in run.
+bench-hotpath:
+	$(GO) run ./cmd/fannr-bench -hotpath BENCH_PR6.json
+
+## Hot-path regression guard: rerun the benchmark and fail if any IER
+## engine regresses >10% against the checked-in BENCH_PR6.json on both
+## batched cold p50 and same-run batched-vs-per-pair speedup (the ratio
+## cancels machine-speed noise between runs).
+bench-guard:
+	$(GO) run ./cmd/fannr-bench -guard BENCH_PR6.json

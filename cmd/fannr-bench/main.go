@@ -35,6 +35,8 @@ func main() {
 		chart    = flag.Bool("chart", false, "render ASCII charts after each table")
 		jsonOut  = flag.String("json", "", "write a machine-readable benchmark report (latency quantiles + op counts) to this file and exit")
 		cacheOut = flag.String("cache", "", "write the semantic-cache benchmark report (hit rate + latency-saved quantiles under a Zipf-repeat workload) to this file and exit")
+		hotOut   = flag.String("hotpath", "", "write the hot-path benchmark report (batched vs per-pair distance lookups per engine) to this file and exit")
+		guardIn  = flag.String("guard", "", "run the hot-path benchmark and fail if any IER engine's batched cold p50 AND same-run speedup both regress >10% against this baseline report")
 	)
 	flag.Parse()
 	if *list {
@@ -65,8 +67,22 @@ func main() {
 		}
 		return
 	}
+	if *hotOut != "" {
+		if err := writeHotpathBench(*hotOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fannr-bench: -hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *guardIn != "" {
+		if err := guardHotpath(*guardIn, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fannr-bench: -guard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache)")
+		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache, -hotpath, -guard)")
 		os.Exit(2)
 	}
 	ids := []string{*expID}
@@ -133,6 +149,54 @@ func writeCacheBench(path string, cfg fannr.ExpConfig) error {
 	fmt.Printf("[cache bench: hit rate %.3f, cold p50 %.1fµs, warm p50 %.2fµs, speedup %.0f×; written to %s in %s]\n",
 		report.HitRate, report.ColdP50Micros, report.WarmHitP50Micros, report.SpeedupP50,
 		path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeHotpathBench runs the hot-path comparison and writes the report.
+func writeHotpathBench(path string, cfg fannr.ExpConfig) error {
+	start := time.Now()
+	report, err := fannr.RunHotpathBench(cfg)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, eh := range report.Engines {
+		fmt.Printf("[hotpath %s/%s: batched p50 %dµs, per-pair p50 %dµs, %.1f×]\n",
+			eh.Algo, eh.Engine, eh.BatchedP50Micros, eh.PerPairP50Micros, eh.SpeedupP50)
+	}
+	fmt.Printf("[hotpath report written to %s in %s]\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// guardHotpath reruns the hot-path benchmark and fails when any IER
+// engine regresses >10% against the baseline report on both guarded
+// signals (batched cold p50 and same-run speedup; see fannr.GuardHotpath).
+func guardHotpath(baselinePath string, cfg fannr.ExpConfig) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline fannr.HotpathReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	current, err := fannr.RunHotpathBench(cfg)
+	if err != nil {
+		return err
+	}
+	if regressions := fannr.GuardHotpath(&baseline, current, 0.10); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		return fmt.Errorf("%d hot-path regression(s) against %s", len(regressions), baselinePath)
+	}
+	fmt.Printf("[hotpath guard passed against %s]\n", baselinePath)
 	return nil
 }
 

@@ -200,6 +200,9 @@ func run(cfg config) error {
 		}); err != nil {
 			return err
 		}
+		if err := srv.RegisterIndexBytes("gtree", gtreeIndex.Stats().MemoryBytes); err != nil {
+			return err
+		}
 	}
 	// The ladder is validated after every engine is registered so it may
 	// reference late-registered engines like GTree.

@@ -336,6 +336,10 @@ type (
 	// -cache emits: hit rate plus cold/warm/latency-saved quantiles under
 	// a Zipf-repeat workload.
 	CacheBenchReport = exp.CacheBenchReport
+	// HotpathReport is the zero-alloc hot-path benchmark fannr-bench
+	// -hotpath emits: batched vs per-pair distance-lookup latency per
+	// engine, plus the headline algorithm table.
+	HotpathReport = exp.HotpathReport
 )
 
 // RunExperiment regenerates one of the paper's figures or tables by id
@@ -352,3 +356,18 @@ func RunBenchJSON(cfg ExpConfig) (*BenchReport, error) { return exp.RunBenchJSON
 // RunCacheBench measures the semantic query cache under a Zipf-repeat
 // workload and returns the structured report (fannr-bench -cache).
 func RunCacheBench(cfg ExpConfig) (*CacheBenchReport, error) { return exp.RunCacheBench(cfg) }
+
+// RunHotpathBench measures batched one-to-many distance lookups against
+// the per-pair baseline for every batching engine and returns the
+// structured report (fannr-bench -hotpath).
+func RunHotpathBench(cfg ExpConfig) (*HotpathReport, error) { return exp.RunHotpathBench(cfg) }
+
+// GuardHotpath compares a fresh hot-path run against a checked-in
+// baseline report, returning a description of every IER engine whose
+// batched cold p50 regressed beyond tolerance (fractional; 0.10 = 10%)
+// while its same-run batched-vs-per-pair speedup also fell beyond
+// tolerance — the second signal cancels machine-speed noise between
+// runs, so only genuine batching regressions fire.
+func GuardHotpath(baseline, current *HotpathReport, tolerance float64) []string {
+	return exp.GuardHotpath(baseline, current, tolerance)
+}

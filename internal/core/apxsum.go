@@ -20,9 +20,9 @@ func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if q.Agg != Sum {
 		return Answer{}, fmt.Errorf("%w: APXSum requires the sum aggregate, got %v", ErrInvalid, q.Agg)
 	}
-	pSet := graph.NewNodeSet(g.NumNodes())
+	pSet := q.countSet(g.NumNodes())
 	pSet.AddAll(q.P)
-	seen := graph.NewNodeSet(g.NumNodes())
+	seen := q.seenSet(g.NumNodes())
 	candidates := make([]graph.NodeID, 0, len(q.Q))
 	for _, src := range q.Q {
 		if q.canceled() {
@@ -42,7 +42,7 @@ func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if len(candidates) == 0 {
 		return Answer{}, ErrNoResult
 	}
-	return GD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel, Stats: q.Stats})
+	return GD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel, Stats: q.Stats, Scratch: q.Scratch})
 }
 
 // APXSumRatioBound returns the proven worst-case approximation ratio for a

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sync/atomic"
 
 	"fannr/internal/graph"
@@ -69,6 +70,11 @@ type Query struct {
 	// operation; the HTTP server binds one per request and flushes it
 	// into the metrics registry.
 	Stats *Stats
+	// Scratch, when non-nil, provides reusable working memory so
+	// steady-state queries allocate nothing (see Scratch). The Answer's
+	// Subset may then alias Scratch memory — copy it before running
+	// another query with the same Scratch if you retain answers.
+	Scratch *Scratch
 }
 
 // canceled polls the optional cancel hook.
@@ -148,9 +154,31 @@ func (q *Query) Validate(g *graph.Graph) error {
 			return fmt.Errorf("%w: query point %d outside graph", ErrInvalid, v)
 		}
 	}
-	q.P = dedupeNodes(q.P)
-	q.Q = dedupeNodes(q.Q)
+	q.P = q.dedupe(q.P)
+	q.Q = q.dedupe(q.Q)
 	return nil
+}
+
+// dedupe canonicalizes one id set. With a Scratch attached, the common
+// duplicate-free case is detected by a sort over the reusable probe
+// buffer — zero allocations — and only actual duplicates fall back to
+// the map-based path.
+func (q *Query) dedupe(ids []graph.NodeID) []graph.NodeID {
+	if s := q.Scratch; s != nil {
+		s.ids = append(s.ids[:0], ids...)
+		slices.Sort(s.ids)
+		clean := true
+		for i := 1; i < len(s.ids); i++ {
+			if s.ids[i] == s.ids[i-1] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return ids
+		}
+	}
+	return dedupeNodes(ids)
 }
 
 // dedupeNodes returns ids with duplicates removed, keeping the first
@@ -211,14 +239,13 @@ type GPhi interface {
 	Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID
 }
 
-// aggOf folds the first k sorted distances.
+// aggOf folds the k-smallest prefix of dists in place: one pass over
+// dists[:k], no sorting, no allocation. The prefix may be fully sorted or
+// merely partially selected (partialSelect) — both aggregates only need
+// the k smallest values present, not ordered.
 func aggOf(dists []float64, k int, agg Aggregate) float64 {
 	if agg == Max {
-		return dists[k-1]
+		return maxOfFirst(dists, k)
 	}
-	total := 0.0
-	for _, d := range dists[:k] {
-		total += d
-	}
-	return total
+	return sumOfFirst(dists, k)
 }

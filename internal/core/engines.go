@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fannr/internal/graph"
 	"fannr/internal/gtree"
@@ -43,6 +43,57 @@ type NeighborSearcher interface {
 // neighbor lists aggregate bit-identically to a live engine.
 func AggSorted(nbrs []sp.Neighbor, k int, agg Aggregate) (float64, bool) {
 	return aggSorted(nbrs, k, agg)
+}
+
+// BatchOracle is the optional oracle capability behind batched g_φ
+// evaluation: one scan of u's label/border data serves every target,
+// instead of |targets| independent point-to-point merges. Contract:
+// out[i] receives the exact distance u→targets[i] (+Inf when
+// disconnected), len(out) must be at least len(targets), out is owned by
+// the caller and fully overwritten, and warm implementations allocate
+// nothing. phl.Batcher, gtree.Querier and sp.Dijkstra implement it; the
+// oracle engines detect it and fall back to per-pair Dist without it.
+type BatchOracle interface {
+	DistBatch(u graph.NodeID, targets []graph.NodeID, out []float64)
+}
+
+// batchProvider is implemented by shared concurrent-reader indexes
+// (phl.Index) that cannot carry per-query scatter state themselves but
+// can mint a single-goroutine batching front-end.
+type batchProvider interface{ NewBatchOracle() any }
+
+// batchOf resolves o's batching capability: a provider is swapped for its
+// minted front-end (which also serves Dist), otherwise o itself is probed
+// for DistBatch. The second return is nil when batching is unavailable.
+func batchOf(o Oracle) (Oracle, BatchOracle) {
+	if p, ok := o.(batchProvider); ok {
+		if alt, ok2 := p.NewBatchOracle().(Oracle); ok2 {
+			o = alt
+		}
+	}
+	b, _ := o.(BatchOracle)
+	return o, b
+}
+
+// growF returns buf resized to n elements, reallocating only on growth.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// cmpNeighbor orders neighbors by ascending distance (a package-level
+// func so slices.SortFunc does not allocate a closure).
+func cmpNeighbor(a, b sp.Neighbor) int {
+	switch {
+	case a.Dist < b.Dist:
+		return -1
+	case a.Dist > b.Dist:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // NewINE returns the INE engine: a Dijkstra expansion from p that stops
@@ -116,12 +167,14 @@ func aggSorted(nbrs []sp.Neighbor, k int, agg Aggregate) (float64, bool) {
 // "A*" engine; with phl.Index it is "PHL"; with a gtree.Querier it is the
 // matrix-assembly SPSP variant.
 func NewOracleGPhi(name string, o Oracle) GPhi {
-	return &oracleEngine{name: name, o: o}
+	o, b := batchOf(o)
+	return &oracleEngine{name: name, o: o, b: b}
 }
 
 type oracleEngine struct {
 	name  string
 	o     Oracle
+	b     BatchOracle // non-nil when o supports one-to-many lookups
 	q     []graph.NodeID
 	dbuf  []float64
 	nbuf  []sp.Neighbor
@@ -145,9 +198,13 @@ func (e *oracleEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool
 	if e.stats != nil {
 		before = scanOf(e.o)
 	}
-	e.dbuf = e.dbuf[:0]
-	for _, q := range e.q {
-		e.dbuf = append(e.dbuf, e.o.Dist(p, q))
+	e.dbuf = growF(e.dbuf, len(e.q))
+	if e.b != nil {
+		e.b.DistBatch(p, e.q, e.dbuf)
+	} else {
+		for i, q := range e.q {
+			e.dbuf[i] = e.o.Dist(p, q)
+		}
 	}
 	if e.stats != nil {
 		e.stats.CountSettled(scanOf(e.o) - before)
@@ -159,21 +216,37 @@ func (e *oracleEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool
 	return d, true
 }
 
-func (e *oracleEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+// gather fills e.nbuf with the reachable members of Q sorted ascending by
+// network distance, batching the lookups when the oracle supports it.
+func (e *oracleEngine) gather(p graph.NodeID) {
 	before := int64(0)
 	if e.stats != nil {
 		before = scanOf(e.o)
 	}
 	e.nbuf = e.nbuf[:0]
-	for _, q := range e.q {
-		if d := e.o.Dist(p, q); !math.IsInf(d, 1) {
-			e.nbuf = append(e.nbuf, sp.Neighbor{Node: q, Dist: d})
+	if e.b != nil {
+		e.dbuf = growF(e.dbuf, len(e.q))
+		e.b.DistBatch(p, e.q, e.dbuf)
+		for i, q := range e.q {
+			if d := e.dbuf[i]; !math.IsInf(d, 1) {
+				e.nbuf = append(e.nbuf, sp.Neighbor{Node: q, Dist: d})
+			}
+		}
+	} else {
+		for _, q := range e.q {
+			if d := e.o.Dist(p, q); !math.IsInf(d, 1) {
+				e.nbuf = append(e.nbuf, sp.Neighbor{Node: q, Dist: d})
+			}
 		}
 	}
 	if e.stats != nil {
 		e.stats.CountSettled(scanOf(e.o) - before)
 	}
-	sort.Slice(e.nbuf, func(i, j int) bool { return e.nbuf[i].Dist < e.nbuf[j].Dist })
+	slices.SortFunc(e.nbuf, cmpNeighbor)
+}
+
+func (e *oracleEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph.NodeID {
+	e.gather(p)
 	if k > len(e.nbuf) {
 		k = len(e.nbuf)
 	}
@@ -184,20 +257,7 @@ func (e *oracleEngine) Subset(p graph.NodeID, k int, dst []graph.NodeID) []graph
 }
 
 func (e *oracleEngine) KNearest(p graph.NodeID, k int, dst []sp.Neighbor) []sp.Neighbor {
-	before := int64(0)
-	if e.stats != nil {
-		before = scanOf(e.o)
-	}
-	e.nbuf = e.nbuf[:0]
-	for _, q := range e.q {
-		if d := e.o.Dist(p, q); !math.IsInf(d, 1) {
-			e.nbuf = append(e.nbuf, sp.Neighbor{Node: q, Dist: d})
-		}
-	}
-	if e.stats != nil {
-		e.stats.CountSettled(scanOf(e.o) - before)
-	}
-	sort.Slice(e.nbuf, func(i, j int) bool { return e.nbuf[i].Dist < e.nbuf[j].Dist })
+	e.gather(p)
 	if k > len(e.nbuf) {
 		k = len(e.nbuf)
 	}
@@ -214,6 +274,7 @@ type gtreeEngine struct {
 	t     *gtree.Tree
 	q     *gtree.Querier
 	objs  *gtree.ObjectSet
+	lastQ []graph.NodeID
 	buf   []sp.Neighbor
 	stats *Stats
 }
@@ -224,7 +285,15 @@ func (e *gtreeEngine) Name() string { return "GTree" }
 // G-tree querier answers from border matrices and settles no graph nodes.
 func (e *gtreeEngine) BindStats(s *Stats) { e.stats = s }
 
-func (e *gtreeEngine) Reset(Q []graph.NodeID) { e.objs = e.t.NewObjectSet(Q) }
+func (e *gtreeEngine) Reset(Q []graph.NodeID) {
+	// Rebinding to the same Q is free: the occurrence list only depends on
+	// the set, so repeated queries over one Q skip the rebuild entirely.
+	if e.objs != nil && slices.Equal(e.lastQ, Q) {
+		return
+	}
+	e.lastQ = append(e.lastQ[:0], Q...)
+	e.objs = e.t.NewObjectSet(Q)
+}
 
 func (e *gtreeEngine) Dist(p graph.NodeID, k int, agg Aggregate) (float64, bool) {
 	e.stats.CountVisit()
@@ -257,10 +326,12 @@ func NewIERGPhi(name string, g *graph.Graph, o Oracle) (GPhi, error) {
 	if !g.HasCoords() {
 		return nil, fmt.Errorf("fannr: engine %s needs coordinates for Euclidean restriction", name)
 	}
+	o, b := batchOf(o)
 	return &ierEngine{
 		name: name,
 		g:    g,
 		o:    o,
+		b:    b,
 		best: pqueue.NewMaxHeap[graph.NodeID](16),
 	}, nil
 }
@@ -269,8 +340,14 @@ type ierEngine struct {
 	name  string
 	g     *graph.Graph
 	o     Oracle
+	b     BatchOracle // non-nil when o supports one-to-many lookups
 	rt    *rtree.Tree
+	it    rtree.IncNN
 	best  *pqueue.MaxHeap[graph.NodeID]
+	lastQ []graph.NodeID
+	pts   []rtree.Point
+	tbuf  []graph.NodeID
+	dbuf  []float64
 	buf   []sp.Neighbor
 	stats *Stats
 }
@@ -283,43 +360,109 @@ func (e *ierEngine) Name() string { return e.name }
 func (e *ierEngine) BindStats(s *Stats) { e.stats = s }
 
 func (e *ierEngine) Reset(Q []graph.NodeID) {
-	pts := make([]rtree.Point, len(Q))
-	for i, q := range Q {
-		x, y := e.g.Coord(q)
-		pts[i] = rtree.Point{X: x, Y: y, ID: q}
+	// Rebinding to the same Q skips the R-tree rebuild — the bulk load is
+	// the only per-Reset allocation, so repeated queries over one Q run
+	// allocation-free.
+	if e.rt != nil && slices.Equal(e.lastQ, Q) {
+		return
 	}
-	e.rt = rtree.BulkLoad(pts, rtree.DefaultFanout)
+	e.lastQ = append(e.lastQ[:0], Q...)
+	e.pts = e.pts[:0]
+	for _, q := range Q {
+		x, y := e.g.Coord(q)
+		e.pts = append(e.pts, rtree.Point{X: x, Y: y, ID: q})
+	}
+	e.rt = rtree.BulkLoad(e.pts, rtree.DefaultFanout)
+}
+
+// ierChunk bounds how many candidates a batched IER continuation resolves
+// per oracle pass. Larger chunks amortize the per-call cost further but
+// widen the window in which a mid-chunk incumbent improvement cannot
+// prune; 16 keeps the wasted-evaluation bound small against typical k.
+const ierChunk = 16
+
+// offer pushes a resolved network distance into the incumbent max-heap.
+func (e *ierEngine) offer(k int, id graph.NodeID, nd float64) {
+	if e.best.Len() < k {
+		e.best.Push(nd, id)
+	} else if nd < e.best.Max().Key {
+		e.best.Pop()
+		e.best.Push(nd, id)
+	}
 }
 
 // kNearest runs the IER scan, leaving the k nearest query points sorted
 // ascending in e.buf.
 func (e *ierEngine) kNearest(p graph.NodeID, k int) []sp.Neighbor {
 	px, py := e.g.Coord(p)
-	it := e.rt.IncNN(px, py)
+	e.it.Reset(e.rt, px, py)
 	e.best.Reset()
 	before := int64(0)
 	if e.stats != nil {
 		before = scanOf(e.o)
 	}
-	for {
-		lb := e.g.ScaleEuclid(it.Peek())
-		if e.best.Len() == k && lb >= e.best.Max().Key {
-			break
+	if e.b != nil {
+		// Batched scan. Seeding first: the initial k surfaced points are
+		// evaluated unconditionally either way — the incumbent heap must
+		// fill to k before the Euclidean bound can prune — so their
+		// network distances resolve in one one-to-many oracle pass. The
+		// continuation then drains candidates in chunks: each chunk
+		// gathers up to ierChunk points admissible under the incumbent at
+		// gather time and resolves them with one more DistBatch from the
+		// same source, which the batching substrates answer from memoized
+		// per-source state (a resumed Dijkstra frontier, cached G-tree
+		// chain vectors, a kept PHL scatter table). A chunk may evaluate
+		// candidates a strictly serial scan would have pruned after an
+		// incumbent improvement mid-chunk; that is bounded extra work,
+		// never a wrong answer — exact extra distances cannot change
+		// which k members of Q are nearest.
+		e.tbuf = e.tbuf[:0]
+		for len(e.tbuf) < k {
+			pt, _, ok := e.it.Next()
+			if !ok {
+				break
+			}
+			e.stats.CountVisit()
+			e.tbuf = append(e.tbuf, pt.ID)
 		}
-		pt, _, ok := it.Next()
-		if !ok {
-			break
+		for len(e.tbuf) > 0 {
+			e.dbuf = growF(e.dbuf, len(e.tbuf))
+			e.b.DistBatch(p, e.tbuf, e.dbuf)
+			for i, id := range e.tbuf {
+				if nd := e.dbuf[i]; !math.IsInf(nd, 1) {
+					e.offer(k, id, nd)
+				}
+			}
+			e.tbuf = e.tbuf[:0]
+			for len(e.tbuf) < ierChunk {
+				lb := e.g.ScaleEuclid(e.it.Peek())
+				if e.best.Len() == k && lb >= e.best.Max().Key {
+					break
+				}
+				pt, _, ok := e.it.Next()
+				if !ok {
+					break
+				}
+				e.stats.CountVisit()
+				e.tbuf = append(e.tbuf, pt.ID)
+			}
 		}
-		e.stats.CountVisit()
-		nd := e.o.Dist(p, pt.ID)
-		if math.IsInf(nd, 1) {
-			continue
-		}
-		if e.best.Len() < k {
-			e.best.Push(nd, pt.ID)
-		} else if nd < e.best.Max().Key {
-			e.best.Pop()
-			e.best.Push(nd, pt.ID)
+	} else {
+		for {
+			lb := e.g.ScaleEuclid(e.it.Peek())
+			if e.best.Len() == k && lb >= e.best.Max().Key {
+				break
+			}
+			pt, _, ok := e.it.Next()
+			if !ok {
+				break
+			}
+			e.stats.CountVisit()
+			nd := e.o.Dist(p, pt.ID)
+			if math.IsInf(nd, 1) {
+				continue
+			}
+			e.offer(k, pt.ID, nd)
 		}
 	}
 	if e.stats != nil {
@@ -329,7 +472,7 @@ func (e *ierEngine) kNearest(p graph.NodeID, k int) []sp.Neighbor {
 	for _, it := range e.best.Items() {
 		e.buf = append(e.buf, sp.Neighbor{Node: it.Value, Dist: it.Key})
 	}
-	sort.Slice(e.buf, func(i, j int) bool { return e.buf[i].Dist < e.buf[j].Dist })
+	slices.SortFunc(e.buf, cmpNeighbor)
 	return e.buf
 }
 

@@ -28,7 +28,7 @@ func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if q.Stats != nil {
 		defer func() { q.Stats.CountSettled(pool.settled()) }()
 	}
-	count := make(map[graph.NodeID]int, 64)
+	counts := q.countSet(g.NumNodes())
 	for {
 		if q.canceled() {
 			return Answer{}, ErrCanceled
@@ -38,8 +38,10 @@ func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 			return Answer{}, ErrNoResult
 		}
 		q.Stats.CountPop()
-		count[p]++
-		if count[p] >= k {
+		c, _ := counts.Value(p)
+		c++
+		counts.Add(p, c)
+		if int(c) >= k {
 			gp.Reset(q.Q)
 			q.Stats.CountEval()
 			d, ok := gp.Dist(p, k, q.Agg)
@@ -47,7 +49,7 @@ func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 				return Answer{}, ErrNoResult
 			}
 			q.Stats.CountSubset()
-			return Answer{P: p, Dist: d, Subset: gp.Subset(p, k, nil)}, nil
+			return Answer{P: p, Dist: d, Subset: q.keepSubset(gp.Subset(p, k, q.subsetBuf()))}, nil
 		}
 	}
 }

@@ -32,6 +32,6 @@ func GD(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		return Answer{}, ErrNoResult
 	}
 	q.Stats.CountSubset()
-	best.Subset = gp.Subset(best.P, k, nil)
+	best.Subset = q.keepSubset(gp.Subset(best.P, k, q.subsetBuf()))
 	return best, nil
 }

@@ -55,20 +55,34 @@ type ierEntry struct {
 	x, y  float64
 }
 
+// newIERSearch binds a traversal to a query, reusing the Scratch-held
+// state (coordinate buffers, bound scratch, frontier heap) when the query
+// carries one so warm IER-kNN runs allocate nothing.
 func newIERSearch(g *graph.Graph, rtP *rtree.Tree, q Query, opts IEROptions) *ierSearch {
-	s := &ierSearch{
-		g:       g,
-		qx:      make([]float64, len(q.Q)),
-		qy:      make([]float64, len(q.Q)),
-		qRect:   rtree.EmptyRect(),
-		k:       q.K(),
-		agg:     q.Agg,
-		opts:    opts,
-		scratch: make([]float64, len(q.Q)),
-		pq:      pqueue.NewHeap[ierEntry](64),
-		cancel:  q.Cancel,
-		stats:   q.Stats,
+	var s *ierSearch
+	if q.Scratch != nil {
+		if q.Scratch.search == nil {
+			q.Scratch.search = &ierSearch{}
+		}
+		s = q.Scratch.search
+	} else {
+		s = &ierSearch{}
 	}
+	s.g = g
+	s.qx = growF(s.qx, len(q.Q))
+	s.qy = growF(s.qy, len(q.Q))
+	s.scratch = growF(s.scratch, len(q.Q))
+	s.qRect = rtree.EmptyRect()
+	s.k = q.K()
+	s.agg = q.Agg
+	s.opts = opts
+	if s.pq == nil {
+		s.pq = pqueue.NewHeap[ierEntry](64)
+	} else {
+		s.pq.Reset()
+	}
+	s.cancel = q.Cancel
+	s.stats = q.Stats
 	for i, v := range q.Q {
 		x, y := g.Coord(v)
 		s.qx[i], s.qy[i] = x, y
@@ -180,6 +194,6 @@ func IERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, opts IEROptions) 
 		return Answer{}, ErrNoResult
 	}
 	q.Stats.CountSubset()
-	best.Subset = gp.Subset(best.P, k, nil)
+	best.Subset = q.keepSubset(gp.Subset(best.P, k, q.subsetBuf()))
 	return best, nil
 }

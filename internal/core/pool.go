@@ -49,11 +49,12 @@ type EngineFactory func() GPhi
 // Discard; Get/Put bypass admission and remain for unbounded pools and
 // non-serving callers (experiments, tests).
 type EnginePool struct {
-	name    string
-	factory EngineFactory
-	free    chan GPhi
-	created atomic.Int64
-	reused  atomic.Int64
+	name      string
+	factory   EngineFactory
+	free      chan GPhi
+	scratches chan *Scratch
+	created   atomic.Int64
+	reused    atomic.Int64
 
 	// gate enforces admission for Acquire/Release/Discard; an unbounded
 	// pool's gate admits everyone (the legacy shape).
@@ -80,10 +81,11 @@ func NewBoundedEnginePool(name string, capacity int, limits PoolLimits, factory 
 		capacity = runtime.GOMAXPROCS(0)
 	}
 	return &EnginePool{
-		name:    name,
-		factory: factory,
-		free:    make(chan GPhi, capacity),
-		gate:    NewGate(name, limits),
+		name:      name,
+		factory:   factory,
+		free:      make(chan GPhi, capacity),
+		scratches: make(chan *Scratch, capacity),
+		gate:      NewGate(name, limits),
 	}
 }
 
@@ -115,6 +117,34 @@ func (p *EnginePool) Put(gp GPhi) {
 	}
 	select {
 	case p.free <- gp:
+	default:
+	}
+}
+
+// GetScratch checks out reusable per-query working memory, warm from
+// earlier queries on this pool when available. It rides alongside an
+// engine checkout — pair the two and hand the Scratch to Query.Scratch —
+// and follows the same exclusivity contract: one goroutine until
+// PutScratch.
+func (p *EnginePool) GetScratch() *Scratch {
+	select {
+	case s := <-p.scratches:
+		return s
+	default:
+		return NewScratch()
+	}
+}
+
+// PutScratch returns a Scratch to the pool's free list; beyond capacity
+// it is dropped for the GC. Answers produced under this Scratch may alias
+// its buffers (see Scratch) — copy any retained Answer.Subset before
+// calling PutScratch. PutScratch(nil) is a no-op.
+func (p *EnginePool) PutScratch(s *Scratch) {
+	if s == nil {
+		return
+	}
+	select {
+	case p.scratches <- s:
 	default:
 	}
 }

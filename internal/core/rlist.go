@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"fannr/internal/graph"
 	"fannr/internal/pqueue"
@@ -78,15 +77,7 @@ func (pool *expanderPool) settled() int64 {
 // head distances. scratch must have capacity |Q|.
 func (pool *expanderPool) threshold(k int, agg Aggregate, scratch []float64) float64 {
 	scratch = append(scratch[:0], pool.heads...)
-	sort.Float64s(scratch)
-	if agg == Max {
-		return scratch[k-1]
-	}
-	total := 0.0
-	for _, d := range scratch[:k] {
-		total += d
-	}
-	return total
+	return flexAgg(scratch, k, agg)
 }
 
 // RList answers an FANN_R query with the threshold algorithm of §III-B:
@@ -103,9 +94,9 @@ func RList(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if q.Stats != nil {
 		defer func() { q.Stats.CountSettled(pool.settled()) }()
 	}
-	seen := graph.NewNodeSet(g.NumNodes())
+	seen := q.seenSet(g.NumNodes())
 	best := Answer{P: -1, Dist: math.Inf(1)}
-	scratch := make([]float64, 0, len(q.Q))
+	scratch := q.distBuf(len(q.Q))
 	for {
 		if q.canceled() {
 			return Answer{}, ErrCanceled
@@ -132,6 +123,6 @@ func RList(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 		return Answer{}, ErrNoResult
 	}
 	q.Stats.CountSubset()
-	best.Subset = gp.Subset(best.P, k, nil)
+	best.Subset = q.keepSubset(gp.Subset(best.P, k, q.subsetBuf()))
 	return best, nil
 }

@@ -77,8 +77,5 @@ func sumOfFirst(dists []float64, k int) float64 {
 // step shared by every g_φ engine and the Euclidean bound.
 func flexAgg(dists []float64, k int, agg Aggregate) float64 {
 	partialSelect(dists, k)
-	if agg == Max {
-		return maxOfFirst(dists, k)
-	}
-	return sumOfFirst(dists, k)
+	return aggOf(dists, k, agg)
 }

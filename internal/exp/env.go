@@ -194,6 +194,10 @@ func (e *Env) buildEngine(name string) (core.GPhi, error) {
 	return gp, nil
 }
 
+// newDijkstraOracle returns a fresh pooled-Dijkstra point-to-point oracle
+// (the index-free substrate; its DistBatch answers one truncated search).
+func (e *Env) newDijkstraOracle() core.Oracle { return sp.NewDijkstra(e.G) }
+
 // ensureCH lazily builds the contraction hierarchy (extension engines
 // only — it is not part of the paper's Table I set).
 func (e *Env) ensureCH() error {

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/workload"
+)
+
+// HotpathReport is the zero-alloc hot-path benchmark fannr-bench -hotpath
+// emits (BENCH_PR6.json in the repository root is one checked-in run). It
+// isolates the batched one-to-many distance path against the per-pair
+// baseline for every engine whose oracle supports DistBatch, and carries
+// the PR4-schema algorithm table so successive PRs keep one comparable
+// latency trajectory.
+type HotpathReport struct {
+	Dataset string          `json:"dataset"`
+	Nodes   int             `json:"nodes"`
+	Edges   int             `json:"edges"`
+	Scale   float64         `json:"scale"`
+	Queries int             `json:"queries"`
+	Seed    int64           `json:"seed"`
+	Params  workload.Params `json:"params"`
+	// Engines compares batched vs per-pair g_φ evaluation per engine.
+	Engines []EngineHotpath `json:"engines"`
+	// Algorithms is the headline algorithm table (same schema and specs
+	// as fannr-bench -json), measured in the same process.
+	Algorithms []AlgoBench `json:"algorithms"`
+}
+
+// EngineHotpath is one engine's cold-query latency with the batched
+// DistBatch path against the per-pair Dist baseline. "Cold" means every
+// query carries a fresh Q (no result reuse); engine buffers stay warm
+// across queries, as they do in any serving deployment.
+type EngineHotpath struct {
+	Algo              string  `json:"algo"`
+	Engine            string  `json:"engine"`
+	BatchedMeanMicros int64   `json:"batched_mean_micros"`
+	BatchedP50Micros  int64   `json:"batched_p50_micros"`
+	BatchedP90Micros  int64   `json:"batched_p90_micros"`
+	PerPairMeanMicros int64   `json:"per_pair_mean_micros"`
+	PerPairP50Micros  int64   `json:"per_pair_p50_micros"`
+	PerPairP90Micros  int64   `json:"per_pair_p90_micros"`
+	SpeedupP50        float64 `json:"speedup_p50"`
+}
+
+// unbatched hides an oracle's batching capability (both the DistBatch
+// method and the batchProvider upgrade), so the per-pair series measures
+// exactly the pre-batching code path over the same index.
+type unbatched struct{ core.Oracle }
+
+// hotpathVariant is one (algorithm, engine) pair with constructors for
+// the batched and per-pair engine instances.
+type hotpathVariant struct {
+	algo, engine string
+	batched      func() (core.GPhi, error)
+	perPair      func() (core.GPhi, error)
+	run          func(gp core.GPhi, inst *workloadInstance) error
+}
+
+// RunHotpathBench measures the batched-vs-per-pair comparison plus the
+// headline algorithm table over cfg.Queries default-parameter instances.
+func RunHotpathBench(cfg Config) (*HotpathReport, error) {
+	e, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunHotpathBench()
+}
+
+// RunHotpathBench is RunHotpathBench over an existing environment.
+func (e *Env) RunHotpathBench() (*HotpathReport, error) {
+	params := workload.DefaultParams()
+	insts := e.generate(params)
+	runGD := func(gp core.GPhi, inst *workloadInstance) error {
+		_, err := core.GD(e.G, gp, inst.query)
+		return err
+	}
+	runIER := func(gp core.GPhi, inst *workloadInstance) error {
+		_, err := core.IERKNN(e.G, inst.rtP, gp, inst.query, core.IEROptions{})
+		return err
+	}
+	variants := []hotpathVariant{
+		{algo: "GD", engine: "PHL",
+			batched: func() (core.GPhi, error) { return core.NewOracleGPhi("PHL", e.PHL), nil },
+			perPair: func() (core.GPhi, error) { return core.NewOracleGPhi("PHL", unbatched{e.PHL}), nil },
+			run:     runGD},
+		{algo: "IER-kNN", engine: "IER-PHL",
+			batched: func() (core.GPhi, error) { return core.NewIERGPhi("IER-PHL", e.G, e.PHL) },
+			perPair: func() (core.GPhi, error) { return core.NewIERGPhi("IER-PHL", e.G, unbatched{e.PHL}) },
+			run:     runIER},
+		{algo: "IER-kNN", engine: "IER-GTree",
+			batched: func() (core.GPhi, error) { return core.NewIERGPhi("IER-GTree", e.G, e.GTree.NewQuerier()) },
+			perPair: func() (core.GPhi, error) { return core.NewIERGPhi("IER-GTree", e.G, unbatched{e.GTree.NewQuerier()}) },
+			run:     runIER},
+		{algo: "IER-kNN", engine: "IER-Dijkstra",
+			batched: func() (core.GPhi, error) { return core.NewIERGPhi("IER-Dijkstra", e.G, e.newDijkstraOracle()) },
+			perPair: func() (core.GPhi, error) { return core.NewIERGPhi("IER-Dijkstra", e.G, unbatched{e.newDijkstraOracle()}) },
+			run:     runIER},
+	}
+	report := &HotpathReport{
+		Dataset: e.Cfg.Dataset,
+		Nodes:   e.G.NumNodes(),
+		Edges:   e.G.NumEdges(),
+		Scale:   e.Cfg.Scale,
+		Queries: len(insts),
+		Seed:    e.Cfg.Seed,
+		Params:  params,
+	}
+	for _, v := range variants {
+		batched, err := measureHotpath(v, v.batched, insts)
+		if err != nil {
+			return nil, fmt.Errorf("exp: hotpath %s/%s batched: %w", v.algo, v.engine, err)
+		}
+		perPair, err := measureHotpath(v, v.perPair, insts)
+		if err != nil {
+			return nil, fmt.Errorf("exp: hotpath %s/%s per-pair: %w", v.algo, v.engine, err)
+		}
+		eh := EngineHotpath{
+			Algo:              v.algo,
+			Engine:            v.engine,
+			BatchedMeanMicros: batched.mean,
+			BatchedP50Micros:  batched.p50,
+			BatchedP90Micros:  batched.p90,
+			PerPairMeanMicros: perPair.mean,
+			PerPairP50Micros:  perPair.p50,
+			PerPairP90Micros:  perPair.p90,
+		}
+		if batched.p50 > 0 {
+			eh.SpeedupP50 = float64(perPair.p50) / float64(batched.p50)
+		}
+		report.Engines = append(report.Engines, eh)
+	}
+	bench, err := e.RunBenchJSON()
+	if err != nil {
+		return nil, err
+	}
+	report.Algorithms = bench.Algos
+	return report, nil
+}
+
+// hotpathSample is the latency summary of one measured series.
+type hotpathSample struct{ mean, p50, p90 int64 }
+
+// measureHotpath times one engine variant over the shared instances. A
+// fresh Scratch rides along, as it does on the server's request path.
+func measureHotpath(v hotpathVariant, build func() (core.GPhi, error), insts []workloadInstance) (hotpathSample, error) {
+	gp, err := build()
+	if err != nil {
+		return hotpathSample{}, err
+	}
+	scratch := core.NewScratch()
+	durs := make([]time.Duration, 0, len(insts))
+	for qi := range insts {
+		inst := &insts[qi]
+		inst.query.Agg = core.Max
+		inst.query.Scratch = scratch
+		start := time.Now()
+		err := v.run(gp, inst)
+		durs = append(durs, time.Since(start))
+		inst.query.Scratch = nil
+		if err != nil {
+			return hotpathSample{}, fmt.Errorf("query %d: %w", qi, err)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	return hotpathSample{
+		mean: (total / time.Duration(len(durs))).Microseconds(),
+		p50:  quantileMicros(durs, 0.50),
+		p90:  quantileMicros(durs, 0.90),
+	}, nil
+}
+
+// GuardHotpath compares a fresh hotpath run against a checked-in
+// baseline. An IER engine regresses when BOTH its batched cold p50
+// exceeds the baseline by more than tolerance (fractional, e.g. 0.10)
+// AND its batched-vs-per-pair speedup — measured inside the same run,
+// so machine-speed differences between runs cancel out — falls below
+// the baseline speedup by more than tolerance. Requiring both signals
+// keeps the guard meaningful on noisy hosts: a shared, loaded machine
+// inflates both series together (ratio holds, guard passes), while a
+// genuine batching regression slows only the batched series (both
+// signals fire). It returns the regressions found, empty on pass.
+func GuardHotpath(baseline, current *HotpathReport, tolerance float64) []string {
+	base := map[string]EngineHotpath{}
+	for _, eh := range baseline.Engines {
+		base[eh.Algo+"/"+eh.Engine] = eh
+	}
+	var regressions []string
+	for _, eh := range current.Engines {
+		if len(eh.Engine) < 3 || eh.Engine[:3] != "IER" {
+			continue
+		}
+		key := eh.Algo + "/" + eh.Engine
+		want, ok := base[key]
+		if !ok || want.BatchedP50Micros <= 0 {
+			continue
+		}
+		slower := float64(eh.BatchedP50Micros) > float64(want.BatchedP50Micros)*(1+tolerance)
+		lessEffective := want.SpeedupP50 > 0 && eh.SpeedupP50 < want.SpeedupP50*(1-tolerance)
+		if slower && lessEffective {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: batched p50 %dµs exceeds baseline %dµs by more than %.0f%% and speedup %.1f× fell below baseline %.1f× by more than %.0f%%",
+					key, eh.BatchedP50Micros, want.BatchedP50Micros, tolerance*100,
+					eh.SpeedupP50, want.SpeedupP50, tolerance*100))
+		}
+	}
+	return regressions
+}

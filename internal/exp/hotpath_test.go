@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGuardHotpath pins the two-signal regression criterion: an IER
+// engine regresses only when BOTH its batched cold p50 exceeds the
+// baseline beyond tolerance AND its same-run speedup falls below the
+// baseline beyond tolerance. One signal alone — a uniformly slower
+// machine (absolute up, ratio held) or a faster per-pair baseline
+// (ratio down, absolute held) — must pass.
+func TestGuardHotpath(t *testing.T) {
+	baseline := &HotpathReport{Engines: []EngineHotpath{
+		{Algo: "GD", Engine: "PHL", BatchedP50Micros: 3000, PerPairP50Micros: 9000, SpeedupP50: 3.0},
+		{Algo: "IER-kNN", Engine: "IER-Dijkstra", BatchedP50Micros: 2000, PerPairP50Micros: 50000, SpeedupP50: 25.0},
+	}}
+	mk := func(batched, perPair int64) *HotpathReport {
+		eh := EngineHotpath{Algo: "IER-kNN", Engine: "IER-Dijkstra",
+			BatchedP50Micros: batched, PerPairP50Micros: perPair}
+		if batched > 0 {
+			eh.SpeedupP50 = float64(perPair) / float64(batched)
+		}
+		return &HotpathReport{Engines: []EngineHotpath{
+			{Algo: "GD", Engine: "PHL", BatchedP50Micros: 30000, PerPairP50Micros: 31000, SpeedupP50: 1.03},
+			eh,
+		}}
+	}
+	cases := []struct {
+		name             string
+		batched, perPair int64
+		wantRegression   bool
+	}{
+		{"unchanged", 2000, 50000, false},
+		// The whole machine ran 2× slower: absolute over tolerance, ratio
+		// intact — noise, not a regression.
+		{"machine-slowdown", 4000, 100000, false},
+		// The batching itself broke: batched series 5× slower against an
+		// unchanged per-pair baseline — both signals fire.
+		{"batching-regression", 10000, 50000, true},
+		// Per-pair improved while batched held: ratio drops but the
+		// batched path is no slower — not a regression.
+		{"per-pair-improved", 2000, 20000, false},
+		// Just inside tolerance on the absolute signal.
+		{"within-tolerance", 2150, 50000, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := GuardHotpath(baseline, mk(tc.batched, tc.perPair), 0.10)
+			if got := len(regs) > 0; got != tc.wantRegression {
+				t.Fatalf("GuardHotpath(batched=%d, perPair=%d) regressions = %v, want regression %v",
+					tc.batched, tc.perPair, regs, tc.wantRegression)
+			}
+			// Non-IER engines are never guarded, however bad they look.
+			for _, r := range regs {
+				if strings.Contains(r, "GD/PHL") {
+					t.Fatalf("guard flagged non-IER engine: %v", r)
+				}
+			}
+		})
+	}
+}

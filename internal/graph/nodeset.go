@@ -20,6 +20,9 @@ func NewNodeSet(n int) *NodeSet {
 	}
 }
 
+// Cap reports the id-space size the set was built for.
+func (s *NodeSet) Cap() int { return len(s.stamp) }
+
 // Reset empties the set in O(1).
 func (s *NodeSet) Reset() {
 	s.epoch++

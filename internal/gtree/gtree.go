@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"fannr/internal/graph"
 	"fannr/internal/par"
@@ -80,6 +81,15 @@ type Tree struct {
 	// covers a contiguous interval [lo, hi) of leaf sequence numbers;
 	// membership tests are O(1).
 	leafSeq []int32
+
+	// Flat slab storage: after flatten(), every node's float64 matrices
+	// (mat, ladjW) live in fslab and every id/index array (children,
+	// verts, borders, X, borderX, ladjStart, ladjNode) lives in islab;
+	// the node fields are subslice views. Two contiguous allocations
+	// instead of thousands keep the GC out of the index and match the
+	// on-disk v3 layout — the prerequisite for mmap-backed loading.
+	fslab []float64
+	islab []int32
 }
 
 type node struct {
@@ -147,7 +157,56 @@ func Build(g *graph.Graph, opt Options) (*Tree, error) {
 	if !opt.SkipRefinement {
 		t.refineTopDown(workers)
 	}
+	t.flatten()
 	return t, nil
+}
+
+// flatten repacks every node's per-node arrays into two tree-wide slabs,
+// leaving the node fields as views into them. Capacities are computed
+// exactly up front so the append loop never reallocates (which would
+// invalidate earlier views). Leaf X sets alias the leaf's borders both
+// before and after.
+func (t *Tree) flatten() {
+	var nf, ni int64
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		nf += int64(len(n.mat) + len(n.ladjW))
+		ni += int64(len(n.children) + len(n.verts) + len(n.borders) +
+			len(n.borderX) + len(n.ladjStart) + len(n.ladjNode))
+		if !n.isLeaf() {
+			ni += int64(len(n.X))
+		}
+	}
+	fslab := make([]float64, 0, nf)
+	islab := make([]int32, 0, ni)
+	packF := func(s []float64) []float64 {
+		lo := len(fslab)
+		fslab = append(fslab, s...)
+		return fslab[lo:len(fslab):len(fslab)]
+	}
+	packI := func(s []int32) []int32 {
+		lo := len(islab)
+		islab = append(islab, s...)
+		return islab[lo:len(islab):len(islab)]
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		n.mat = packF(n.mat)
+		n.ladjW = packF(n.ladjW)
+		n.children = packI(n.children)
+		n.verts = packI(n.verts)
+		n.borders = packI(n.borders)
+		if n.isLeaf() {
+			n.X = n.borders
+		} else {
+			n.X = packI(n.X)
+		}
+		n.borderX = packI(n.borderX)
+		n.ladjStart = packI(n.ladjStart)
+		n.ladjNode = packI(n.ladjNode)
+	}
+	t.fslab = fslab
+	t.islab = islab
 }
 
 // partition builds the tree structure by recursive balanced splitting.
@@ -797,6 +856,7 @@ type Stats struct {
 func (t *Tree) Stats() Stats {
 	var s Stats
 	s.TreeNodes = len(t.nodes)
+	var xEntries int64
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		if int(n.depth)+1 > s.Height {
@@ -807,9 +867,14 @@ func (t *Tree) Stats() Stats {
 		}
 		s.Borders += len(n.borders)
 		s.MatrixCells += int64(len(n.mat))
-		s.MemoryBytes += int64(len(n.mat))*8 + int64(len(n.X))*16 +
-			int64(len(n.ladjNode))*12 + int64(len(n.verts))*4 + 64
+		xEntries += int64(len(n.X))
 	}
-	s.MemoryBytes += int64(t.g.NumNodes()) * 12 // leafOf/posInLeaf/leafSeq
+	// Actual footprint: the two slabs plus node headers, the xIdx lookup
+	// maps (~16 bytes per entry including bucket overhead), and the three
+	// graph-sized vertex tables.
+	s.MemoryBytes = int64(len(t.fslab))*8 + int64(len(t.islab))*4 +
+		int64(len(t.nodes))*int64(unsafe.Sizeof(node{})) +
+		xEntries*16 +
+		int64(t.g.NumNodes())*12 // leafOf/posInLeaf/leafSeq
 	return s
 }

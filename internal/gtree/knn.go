@@ -76,20 +76,19 @@ func (q *Querier) KNN(src graph.NodeID, objs *ObjectSet, k int, dst []sp.Neighbo
 		return append(dst, cands...)
 	}
 
-	// Global distance vectors from src over each visited node's X set.
-	vecs := make(map[int32][]float64, 32)
+	// Global distance vectors from src over each visited node's X set,
+	// cached in the querier's arena-backed batch scratch.
+	q.batchReset()
+	vecs := q.bvecs
 	srcLeaf := t.leafOf[src]
 	q.buildChainVectors(src, vecs)
 
 	// Within-leaf distances from src, computed lazily for the source leaf.
 	var srcLocal []float64
 	ensureSrcLocal := func() {
-		if srcLocal != nil {
-			return
+		if srcLocal == nil {
+			srcLocal = q.srcLocalDists(src)
 		}
-		leaf := &t.nodes[srcLeaf]
-		srcLocal = make([]float64, len(leaf.verts))
-		localSSSP(leaf.ladjStart, leaf.ladjNode, leaf.ladjW, int(t.posInLeaf[src]), srcLocal, q.h)
 	}
 
 	best := pqueue.NewMaxHeap[graph.NodeID](k)
@@ -170,12 +169,17 @@ func (q *Querier) KNN(src graph.NodeID, objs *ObjectSet, k int, dst []sp.Neighbo
 		}
 	}
 
-	out := make([]sp.Neighbor, best.Len())
-	for i := best.Len() - 1; i >= 0; i-- {
+	// Drain the max-heap straight into dst (descending) and reverse the
+	// appended region in place — no intermediate slice.
+	base := len(dst)
+	for best.Len() > 0 {
 		it := best.Pop()
-		out[i] = sp.Neighbor{Node: it.Value, Dist: it.Key}
+		dst = append(dst, sp.Neighbor{Node: it.Value, Dist: it.Key})
 	}
-	return append(dst, out...)
+	for i, j := base, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
 }
 
 // buildChainVectors fills vecs[n] = global distances from src to each
@@ -186,7 +190,7 @@ func (q *Querier) buildChainVectors(src graph.NodeID, vecs map[int32][]float64) 
 	leaf := &t.nodes[l]
 	p := &t.nodes[leaf.parent]
 	pos := int(t.posInLeaf[src])
-	vl := make([]float64, len(leaf.borders))
+	vl := q.carve(len(leaf.borders))
 	for bi := range leaf.borders {
 		bestD := math.Inf(1)
 		xb := p.xIdx[leaf.borders[bi]]
@@ -209,7 +213,7 @@ func (q *Querier) buildChainVectors(src graph.NodeID, vecs map[int32][]float64) 
 		pn := &t.nodes[pi]
 		child := &t.nodes[node]
 		vc := vecs[node]
-		vp := make([]float64, len(pn.X))
+		vp := q.carve(len(pn.X))
 		for xi, x := range pn.X {
 			if t.contains(child, x) {
 				// x ∈ B(child): its global distance is already known.
@@ -260,13 +264,13 @@ func (q *Querier) descendVector(parent *node, vp []float64, ci int32) []float64 
 	t := q.t
 	c := &t.nodes[ci]
 	if c.isLeaf() {
-		vc := make([]float64, len(c.borders))
+		vc := q.carve(len(c.borders))
 		for bi, b := range c.borders {
 			vc[bi] = vp[parent.xIdx[b]]
 		}
 		return vc
 	}
-	vc := make([]float64, len(c.X))
+	vc := q.carve(len(c.X))
 	for i := range vc {
 		vc[i] = math.Inf(1)
 	}

@@ -14,6 +14,20 @@ type Querier struct {
 	dist []float64 // within-leaf Dijkstra scratch
 	cur  []float64 // DP vector scratch
 	next []float64
+	// Batch scratch shared by DistBatch and KNN: per-tree-node global
+	// distance vectors backed by a reusable arena. DistBatch memoizes the
+	// vectors by source: while bvalid holds and the source repeats, the
+	// chain build is skipped and lazily-descended leaf vectors accumulate
+	// across calls, so an incremental caller (IER's chunked candidate
+	// scan) pays one chain construction per source. KNN shares the arena
+	// and clears bvalid when it claims it.
+	bvecs  map[int32][]float64
+	barena []float64
+	bpath  []int32
+	bu     graph.NodeID // source the cached vectors belong to
+	bvalid bool
+	bsrc   []float64 // within-source-leaf distance scratch
+	bsrcOK bool      // bsrc holds the distances for source bu
 	// query counters for the experiment harness
 	queries int64
 }
@@ -165,6 +179,141 @@ func (q *Querier) upVector(u graph.NodeID, lca int32, buf []float64) ([]float64,
 		node = pn
 	}
 	return cur, node
+}
+
+// batchReset prepares the per-call vector cache and arena, dropping any
+// memoized source state.
+func (q *Querier) batchReset() {
+	if q.bvecs == nil {
+		q.bvecs = make(map[int32][]float64, 64)
+	} else {
+		clear(q.bvecs)
+	}
+	q.barena = q.barena[:0]
+	q.bvalid = false
+	q.bsrcOK = false
+}
+
+// carve returns an n-element scratch vector from the arena. Contents are
+// dirty; callers must write every element they read. When the arena block
+// fills, a larger one replaces it — vectors carved earlier keep pointing
+// at the old block, which stays valid, so steady-state batches allocate
+// nothing once the capacity stabilizes.
+func (q *Querier) carve(n int) []float64 {
+	if len(q.barena)+n > cap(q.barena) {
+		newCap := 2 * cap(q.barena)
+		if newCap < n {
+			newCap = n
+		}
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		q.barena = make([]float64, 0, newCap)
+	}
+	s := q.barena[len(q.barena) : len(q.barena)+n]
+	q.barena = q.barena[:len(q.barena)+n]
+	return s
+}
+
+// srcLocalDists fills q.bsrc with within-leaf distances from src across
+// its own leaf and returns the filled view.
+func (q *Querier) srcLocalDists(src graph.NodeID) []float64 {
+	t := q.t
+	leaf := &t.nodes[t.leafOf[src]]
+	if cap(q.bsrc) < len(leaf.verts) {
+		q.bsrc = make([]float64, len(leaf.verts))
+	}
+	out := q.bsrc[:len(leaf.verts)]
+	localSSSP(leaf.ladjStart, leaf.ladjNode, leaf.ladjW, int(t.posInLeaf[src]), out, q.h)
+	return out
+}
+
+// nodeVector returns the cached global distance vector for tree node ni,
+// descending from the nearest cached ancestor on demand. buildChainVectors
+// must have populated the source chain first: the upward walk then always
+// terminates, at the LCA of ni and the source leaf at the latest.
+func (q *Querier) nodeVector(ni int32) []float64 {
+	if v, ok := q.bvecs[ni]; ok {
+		return v
+	}
+	t := q.t
+	q.bpath = q.bpath[:0]
+	cur := ni
+	for {
+		if _, ok := q.bvecs[cur]; ok {
+			break
+		}
+		q.bpath = append(q.bpath, cur)
+		cur = t.nodes[cur].parent
+	}
+	for i := len(q.bpath) - 1; i >= 0; i-- {
+		ci := q.bpath[i]
+		pi := t.nodes[ci].parent
+		q.bvecs[ci] = q.descendVector(&t.nodes[pi], q.bvecs[pi], ci)
+	}
+	return q.bvecs[ni]
+}
+
+// DistBatch computes global shortest-path distances from u to every
+// target (+Inf when disconnected), writing out[i] for targets[i]. One
+// chain-vector construction from u is shared by all targets: each target
+// then costs a fold over its own leaf's border vector (descended lazily
+// and cached per leaf), instead of the two upVector climbs plus
+// border-pair double loop that per-pair Dist pays. Like KNN this relies
+// on refined (global) matrices; under Options.SkipRefinement the results
+// are upper bounds, matching Dist's degradation. len(out) must be at
+// least len(targets); warm Queriers allocate nothing.
+func (q *Querier) DistBatch(u graph.NodeID, targets []graph.NodeID, out []float64) {
+	if len(targets) == 0 {
+		return
+	}
+	_ = out[len(targets)-1]
+	q.queries += int64(len(targets))
+	t := q.t
+	root := &t.nodes[0]
+	if root.isLeaf() {
+		// Degenerate single-leaf tree: the leaf subgraph is the graph.
+		local := q.srcLocalDists(u)
+		for i, v := range targets {
+			out[i] = local[t.posInLeaf[v]]
+		}
+		return
+	}
+	if !q.bvalid || q.bu != u {
+		q.batchReset()
+		q.buildChainVectors(u, q.bvecs)
+		q.bu = u
+		q.bvalid = true
+	}
+	srcLeaf := t.leafOf[u]
+	for i, v := range targets {
+		if v == u {
+			out[i] = 0
+			continue
+		}
+		lv := t.leafOf[v]
+		vec := q.nodeVector(lv)
+		n := &t.nodes[lv]
+		pos := int(t.posInLeaf[v])
+		best := math.Inf(1)
+		for bi := range n.borders {
+			if vb := vec[bi]; !math.IsInf(vb, 1) {
+				if d := vb + n.leafDist(bi, pos); d < best {
+					best = d
+				}
+			}
+		}
+		if lv == srcLeaf {
+			if !q.bsrcOK {
+				q.srcLocalDists(u)
+				q.bsrcOK = true
+			}
+			if w := q.bsrc[pos]; w < best {
+				best = w
+			}
+		}
+		out[i] = best
+	}
 }
 
 // lca returns the lowest common ancestor of two tree nodes.

@@ -8,10 +8,14 @@ import (
 	"fannr/internal/graph"
 )
 
-// magic v2: streams end in a CRC32 footer (binio.Writer.Flush); v1 files
-// without it are rejected by the tag so a loader never trusts an
-// unverifiable index.
-const magic = "FANNRGT2\n"
+// magic v3: all per-node arrays live in two contiguous slabs (int32 ids
+// and float64 matrices) preceded by a fixed-size metadata record per tree
+// node — the same layout the in-memory Tree uses after flatten(), so a
+// future mmap loader can point node views straight at the file. Streams
+// still end in a CRC32 footer (binio.Writer.Flush); v1/v2 files are
+// rejected by the tag so a loader never trusts an unverifiable or
+// re-interpreted index.
+const magic = "FANNRGT3\n"
 
 // Save serializes the tree in fannr's little-endian binary format. The
 // graph itself is not embedded — reattach the same graph in Read.
@@ -31,17 +35,30 @@ func (t *Tree) Save(w io.Writer) error {
 		bw.I32(n.depth)
 		bw.I32(n.lo)
 		bw.I32(n.hi)
-		bw.I32s(n.children)
-		bw.I32s(n.verts)
-		bw.I32s(n.borders)
-		bw.I32s(n.X)
-		bw.I32s(n.borderX)
-		bw.F64s(n.mat)
-		bw.I32s(n.ladjStart)
-		bw.I32s(n.ladjNode)
-		bw.F64s(n.ladjW)
+		bw.I32(int32(len(n.children)))
+		bw.I32(int32(len(n.verts)))
+		bw.I32(int32(len(n.borders)))
+		if n.isLeaf() {
+			bw.I32(0) // leaf X aliases borders; not slab-resident
+		} else {
+			bw.I32(int32(len(n.X)))
+		}
+		bw.I32(int32(len(n.borderX)))
+		bw.I32(int32(len(n.ladjStart)))
+		bw.I32(int32(len(n.ladjNode)))
+		bw.I64(int64(len(n.mat)))
+		bw.I64(int64(len(n.ladjW)))
 	}
+	bw.I32s(t.islab)
+	bw.F64s(t.fslab)
 	return bw.Flush()
+}
+
+// nodeLens mirrors the per-node metadata record: view lengths into the
+// two slabs, in flatten() pack order.
+type nodeLens struct {
+	children, verts, borders, x, borderX, ladjStart, ladjNode int32
+	mat, ladjW                                                int64
 }
 
 // Read deserializes a tree written by Save and reattaches it to g,
@@ -62,6 +79,9 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 	t.leafOf = br.I32s()
 	t.posInLeaf = br.I32s()
 	t.leafSeq = br.I32s()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("gtree: reading vertex tables: %w", err)
+	}
 	if len(t.leafOf) != nNodes || len(t.posInLeaf) != nNodes || len(t.leafSeq) != nNodes {
 		return nil, fmt.Errorf("gtree: vertex tables truncated")
 	}
@@ -73,24 +93,79 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 		return nil, fmt.Errorf("gtree: implausible tree-node count %d for %d vertices", count, nNodes)
 	}
 	t.nodes = make([]node, count)
+	lens := make([]nodeLens, count)
+	var wantI, wantF int64
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		n.parent = br.I32()
 		n.depth = br.I32()
 		n.lo = br.I32()
 		n.hi = br.I32()
-		n.children = br.I32s()
-		n.verts = br.I32s()
-		n.borders = br.I32s()
-		n.X = br.I32s()
-		n.borderX = br.I32s()
-		n.mat = br.F64s()
-		n.ladjStart = br.I32s()
-		n.ladjNode = br.I32s()
-		n.ladjW = br.F64s()
+		l := &lens[i]
+		l.children = br.I32()
+		l.verts = br.I32()
+		l.borders = br.I32()
+		l.x = br.I32()
+		l.borderX = br.I32()
+		l.ladjStart = br.I32()
+		l.ladjNode = br.I32()
+		l.mat = br.I64()
+		l.ladjW = br.I64()
 		if err := br.Err(); err != nil {
 			return nil, fmt.Errorf("gtree: reading tree node %d: %w", i, err)
 		}
+		if l.children < 0 || l.verts < 0 || l.borders < 0 || l.x < 0 ||
+			l.borderX < 0 || l.ladjStart < 0 || l.ladjNode < 0 || l.mat < 0 || l.ladjW < 0 {
+			return nil, fmt.Errorf("gtree: tree node %d has negative array length", i)
+		}
+		if l.children == 0 && l.x != 0 {
+			return nil, fmt.Errorf("gtree: leaf node %d claims a separate X set", i)
+		}
+		wantI += int64(l.children) + int64(l.verts) + int64(l.borders) +
+			int64(l.x) + int64(l.borderX) + int64(l.ladjStart) + int64(l.ladjNode)
+		wantF += l.mat + l.ladjW
+		if wantI > binio.MaxSliceLen || wantF > binio.MaxSliceLen {
+			return nil, fmt.Errorf("gtree: implausible slab size (%d ids, %d cells)", wantI, wantF)
+		}
+	}
+	islab := br.I32s()
+	fslab := br.F64s()
+	br.Footer()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("gtree: verifying index: %w", err)
+	}
+	if int64(len(islab)) != wantI || int64(len(fslab)) != wantF {
+		return nil, fmt.Errorf("gtree: slabs hold %d/%d entries, metadata expects %d/%d",
+			len(islab), len(fslab), wantI, wantF)
+	}
+	var oi, of int64
+	carveI := func(n int32) []int32 {
+		s := islab[oi : oi+int64(n) : oi+int64(n)]
+		oi += int64(n)
+		return s
+	}
+	carveF := func(n int64) []float64 {
+		s := fslab[of : of+n : of+n]
+		of += n
+		return s
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		l := &lens[i]
+		// Same pack order as flatten(): float views first, then id views.
+		n.mat = carveF(l.mat)
+		n.ladjW = carveF(l.ladjW)
+		n.children = carveI(l.children)
+		n.verts = carveI(l.verts)
+		n.borders = carveI(l.borders)
+		if n.isLeaf() {
+			n.X = n.borders
+		} else {
+			n.X = carveI(l.x)
+		}
+		n.borderX = carveI(l.borderX)
+		n.ladjStart = carveI(l.ladjStart)
+		n.ladjNode = carveI(l.ladjNode)
 		n.xIdx = make(map[graph.NodeID]int32, len(n.X))
 		for j, v := range n.X {
 			if v < 0 || int(v) >= nNodes {
@@ -99,16 +174,14 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 			n.xIdx[v] = int32(j)
 		}
 		wantMat := len(n.X) * len(n.X)
-		if len(n.children) == 0 {
+		if n.isLeaf() {
 			wantMat = len(n.borders) * len(n.verts)
 		}
 		if len(n.mat) != wantMat {
 			return nil, fmt.Errorf("gtree: tree node %d matrix has %d cells, want %d", i, len(n.mat), wantMat)
 		}
 	}
-	br.Footer()
-	if err := br.Err(); err != nil {
-		return nil, fmt.Errorf("gtree: verifying index: %w", err)
-	}
+	t.islab = islab
+	t.fslab = fslab
 	return t, nil
 }

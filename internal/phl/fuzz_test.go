@@ -35,7 +35,7 @@ func FuzzRead(f *testing.F) {
 			return
 		}
 		// Whatever was accepted must be internally usable.
-		n := len(ix.hubs)
+		n := ix.n
 		if n == 0 {
 			t.Fatal("accepted empty index")
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"fannr/internal/graph"
 	"fannr/internal/pqueue"
@@ -36,25 +37,37 @@ type Options struct {
 
 // Index is an immutable hub-label index. It is safe for concurrent
 // readers.
+//
+// Labels live in two contiguous slabs addressed by an offset table: node
+// v's label is hubSlab[off[v]:off[v+1]] paired element-wise with
+// distSlab[off[v]:off[v+1]], sorted by hub rank. The layout is
+// pointer-free past the struct header, which keeps the GC out of the
+// label storage and matches the on-disk v3 format byte for byte — the
+// prerequisite for mmap-backed loading.
 type Index struct {
-	rank []int32 // node -> construction rank (hub id space)
-	// Per-node labels sorted by hub rank. hubs[v] and dists[v] are
-	// parallel.
-	hubs  [][]int32
-	dists [][]float64
-	n     int
+	rank     []int32 // node -> construction rank (hub id space)
+	off      []int64 // n+1 entries; label extent per node
+	hubSlab  []int32
+	distSlab []float64
+	n        int
+}
+
+// label returns node v's parallel hub/distance arrays as views into the
+// slabs.
+func (ix *Index) label(v graph.NodeID) ([]int32, []float64) {
+	lo, hi := ix.off[v], ix.off[v+1]
+	return ix.hubSlab[lo:hi], ix.distSlab[lo:hi]
 }
 
 // Build constructs labels for g by pruned Dijkstra from vertices in
 // descending degree order.
 func Build(g *graph.Graph, opts Options) (*Index, error) {
 	n := g.NumNodes()
-	ix := &Index{
-		rank:  make([]int32, n),
-		hubs:  make([][]int32, n),
-		dists: make([][]float64, n),
-		n:     n,
-	}
+	rank := make([]int32, n)
+	// Construction appends to labels interleaved across nodes, so it works
+	// on per-node slices and flattens into the slab layout at the end.
+	hubs := make([][]int32, n)
+	dists := make([][]float64, n)
 	order := make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)
@@ -65,7 +78,7 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 		return g.Degree(order[i]) > g.Degree(order[j])
 	})
 	for r, v := range order {
-		ix.rank[v] = int32(r)
+		rank[v] = int32(r)
 	}
 
 	h := pqueue.NewIndexedHeap(n)
@@ -81,8 +94,8 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 	for r := 0; r < n; r++ {
 		root := order[r]
 		epoch++
-		for i, hub := range ix.hubs[root] {
-			tmp[hub] = ix.dists[root][i]
+		for i, hub := range hubs[root] {
+			tmp[hub] = dists[root][i]
 			tmpStamp[hub] = epoch
 		}
 		h.Reset()
@@ -94,8 +107,8 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 			// Prune check: if existing labels already certify a distance
 			// ≤ dv between root and v, the search need not go through v.
 			pruned := false
-			hv := ix.hubs[v]
-			dvs := ix.dists[v]
+			hv := hubs[v]
+			dvs := dists[v]
 			for i, hub := range hv {
 				if tmpStamp[hub] == epoch && tmp[hub]+dvs[i] <= dv {
 					pruned = true
@@ -105,8 +118,8 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 			if pruned {
 				continue
 			}
-			ix.hubs[v] = append(ix.hubs[v], int32(r))
-			ix.dists[v] = append(ix.dists[v], dv)
+			hubs[v] = append(hubs[v], int32(r))
+			dists[v] = append(dists[v], dv)
 			entries++
 			if opts.MaxEntries > 0 && entries > opts.MaxEntries {
 				return nil, fmt.Errorf("%w (limit %d)", ErrBudget, opts.MaxEntries)
@@ -122,6 +135,17 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 			}
 		}
 	}
+
+	ix := &Index{rank: rank, n: n, off: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		ix.off[v+1] = ix.off[v] + int64(len(hubs[v]))
+	}
+	ix.hubSlab = make([]int32, ix.off[n])
+	ix.distSlab = make([]float64, ix.off[n])
+	for v := 0; v < n; v++ {
+		copy(ix.hubSlab[ix.off[v]:], hubs[v])
+		copy(ix.distSlab[ix.off[v]:], dists[v])
+	}
 	return ix, nil
 }
 
@@ -131,8 +155,8 @@ func (ix *Index) Dist(u, v graph.NodeID) float64 {
 	if u == v {
 		return 0
 	}
-	hu, hv := ix.hubs[u], ix.hubs[v]
-	du, dv := ix.dists[u], ix.dists[v]
+	hu, du := ix.label(u)
+	hv, dv := ix.label(v)
 	best := math.Inf(1)
 	i, j := 0, 0
 	for i < len(hu) && j < len(hv) {
@@ -154,16 +178,21 @@ func (ix *Index) Dist(u, v graph.NodeID) float64 {
 
 // Entries returns the total number of label entries.
 func (ix *Index) Entries() int64 {
-	var total int64
-	for _, h := range ix.hubs {
-		total += int64(len(h))
+	if len(ix.off) == 0 {
+		return 0
 	}
-	return total
+	return ix.off[ix.n]
 }
 
-// MemoryBytes estimates the index footprint (4 bytes per hub id plus 8 per
-// distance).
-func (ix *Index) MemoryBytes() int64 { return ix.Entries() * 12 }
+// MemoryBytes reports the actual resident footprint of the index: the
+// rank and offset tables, both label slabs, and the struct header itself.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(unsafe.Sizeof(*ix)) +
+		int64(len(ix.rank))*4 +
+		int64(len(ix.off))*8 +
+		int64(len(ix.hubSlab))*4 +
+		int64(len(ix.distSlab))*8
+}
 
 // AvgLabelSize returns the mean number of entries per node.
 func (ix *Index) AvgLabelSize() float64 {
@@ -171,4 +200,90 @@ func (ix *Index) AvgLabelSize() float64 {
 		return 0
 	}
 	return float64(ix.Entries()) / float64(ix.n)
+}
+
+// Batcher is a per-goroutine batching front-end over a shared Index: it
+// owns the rank-indexed scatter table that one-to-many queries need, so
+// the Index itself stays safe for concurrent readers. Mint one per engine
+// with NewBatcher; a Batcher must not be used from multiple goroutines.
+type Batcher struct {
+	ix    *Index
+	tab   []float64 // hub rank -> distance from the scattered source label
+	stamp []uint32
+	epoch uint32
+	// u/uvalid memoize the scattered source: consecutive same-source
+	// batches (IER's chunked candidate scan) skip the re-scatter and go
+	// straight to the per-target probes. Nothing else writes tab/stamp,
+	// so the memo only expires when the source changes.
+	u      graph.NodeID
+	uvalid bool
+}
+
+// NewBatcher returns a batching front-end bound to ix.
+func (ix *Index) NewBatcher() *Batcher {
+	return &Batcher{ix: ix, tab: make([]float64, ix.n), stamp: make([]uint32, ix.n)}
+}
+
+// NewBatchOracle lets engine constructors that only see an opaque distance
+// oracle mint a per-engine batching front-end without importing this
+// package. The result implements both Dist and DistBatch.
+func (ix *Index) NewBatchOracle() any { return ix.NewBatcher() }
+
+// Dist delegates to the shared index's label merge.
+func (b *Batcher) Dist(u, v graph.NodeID) float64 { return b.ix.Dist(u, v) }
+
+// Entries reports the underlying index's label count (forwarded so a
+// Batcher can stand in for the Index wherever size is probed).
+func (b *Batcher) Entries() int64 { return b.ix.Entries() }
+
+// MemoryBytes reports the underlying index footprint plus the scatter
+// table.
+func (b *Batcher) MemoryBytes() int64 {
+	return b.ix.MemoryBytes() + int64(len(b.tab))*8 + int64(len(b.stamp))*4
+}
+
+// DistBatch computes distances from u to every target in one pass over
+// u's hub label: the label is scattered into the rank-indexed table once
+// (O(|L(u)|)), after which each target costs a single scan of its own
+// label instead of a full merge. Results are bit-identical to Dist —
+// the same hub sums are minimized in the same order — with +Inf for
+// unreachable targets. len(out) must be at least len(targets); warm
+// Batchers allocate nothing.
+func (b *Batcher) DistBatch(u graph.NodeID, targets []graph.NodeID, out []float64) {
+	if len(targets) == 0 {
+		return
+	}
+	_ = out[len(targets)-1]
+	if !b.uvalid || b.u != u {
+		b.epoch++
+		if b.epoch == 0 {
+			for i := range b.stamp {
+				b.stamp[i] = 0
+			}
+			b.epoch = 1
+		}
+		hu, du := b.ix.label(u)
+		for i, h := range hu {
+			b.tab[h] = du[i]
+			b.stamp[h] = b.epoch
+		}
+		b.u = u
+		b.uvalid = true
+	}
+	for i, v := range targets {
+		if v == u {
+			out[i] = 0
+			continue
+		}
+		hv, dv := b.ix.label(v)
+		best := math.Inf(1)
+		for j, h := range hv {
+			if b.stamp[h] == b.epoch {
+				if d := b.tab[h] + dv[j]; d < best {
+					best = d
+				}
+			}
+		}
+		out[i] = best
+	}
 }

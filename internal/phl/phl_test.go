@@ -118,18 +118,23 @@ func TestLabelsAreSortedAndSized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v := range ix.hubs {
-		for i := 1; i < len(ix.hubs[v]); i++ {
-			if ix.hubs[v][i] <= ix.hubs[v][i-1] {
+	for v := 0; v < g.NumNodes(); v++ {
+		hubs, dists := ix.label(graph.NodeID(v))
+		for i := 1; i < len(hubs); i++ {
+			if hubs[i] <= hubs[i-1] {
 				t.Fatalf("label of %d not strictly sorted by rank", v)
 			}
 		}
-		if len(ix.hubs[v]) == 0 {
-			t.Fatalf("node %d has empty label", v)
+		if len(hubs) == 0 || len(hubs) != len(dists) {
+			t.Fatalf("node %d has label of %d hubs / %d dists", v, len(hubs), len(dists))
 		}
 	}
-	if ix.Entries() <= 0 || ix.MemoryBytes() != ix.Entries()*12 {
-		t.Fatal("entry accounting inconsistent")
+	// MemoryBytes must account for the full footprint: both slabs (12
+	// bytes/entry) plus the rank and offset tables.
+	minBytes := ix.Entries()*12 + int64(g.NumNodes())*4
+	if ix.Entries() <= 0 || ix.MemoryBytes() < minBytes {
+		t.Fatalf("entry accounting inconsistent: %d entries, %d bytes (< %d)",
+			ix.Entries(), ix.MemoryBytes(), minBytes)
 	}
 	if a := ix.AvgLabelSize(); a < 1 {
 		t.Fatalf("AvgLabelSize = %v, want >= 1", a)

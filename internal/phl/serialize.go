@@ -7,10 +7,13 @@ import (
 	"fannr/internal/binio"
 )
 
-// magic v2: streams end in a CRC32 footer (binio.Writer.Flush); v1 files
-// without it are rejected by the tag so a loader never trusts an
-// unverifiable index.
-const magic = "FANNRPHL2\n"
+// magic v3: labels are stored as per-node lengths followed by two
+// contiguous slabs (hubs, then distances) — the same layout the in-memory
+// Index uses, so a future mmap loader can point slices straight at the
+// file. Streams still end in a CRC32 footer (binio.Writer.Flush); v1/v2
+// files are rejected by the tag so a loader never trusts an unverifiable
+// or re-interpreted index.
+const magic = "FANNRPHL3\n"
 
 // Save serializes the index in fannr's little-endian binary format.
 func (ix *Index) Save(w io.Writer) error {
@@ -18,10 +21,13 @@ func (ix *Index) Save(w io.Writer) error {
 	bw.Magic(magic)
 	bw.I64(int64(ix.n))
 	bw.I32s(ix.rank)
+	lens := make([]int32, ix.n)
 	for v := 0; v < ix.n; v++ {
-		bw.I32s(ix.hubs[v])
-		bw.F64s(ix.dists[v])
+		lens[v] = int32(ix.off[v+1] - ix.off[v])
 	}
+	bw.I32s(lens)
+	bw.I32s(ix.hubSlab)
+	bw.F64s(ix.distSlab)
 	return bw.Flush()
 }
 
@@ -45,26 +51,32 @@ func Read(r io.Reader) (*Index, error) {
 	if len(rank) != n {
 		return nil, fmt.Errorf("phl: rank table has %d entries, want %d", len(rank), n)
 	}
-	ix := &Index{
-		n:     n,
-		rank:  rank,
-		hubs:  make([][]int32, n),
-		dists: make([][]float64, n),
+	lens := br.I32s()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("phl: reading label lengths: %w", err)
 	}
-	for v := 0; v < n; v++ {
-		ix.hubs[v] = br.I32s()
-		ix.dists[v] = br.F64s()
-		if err := br.Err(); err != nil {
-			return nil, fmt.Errorf("phl: reading label %d: %w", v, err)
-		}
-		if len(ix.hubs[v]) != len(ix.dists[v]) {
-			return nil, fmt.Errorf("phl: label %d has %d hubs but %d distances",
-				v, len(ix.hubs[v]), len(ix.dists[v]))
-		}
+	if len(lens) != n {
+		return nil, fmt.Errorf("phl: length table has %d entries, want %d", len(lens), n)
 	}
+	off := make([]int64, n+1)
+	for v, l := range lens {
+		if l < 0 {
+			return nil, fmt.Errorf("phl: negative label length for node %d", v)
+		}
+		off[v+1] = off[v] + int64(l)
+	}
+	if off[n] > binio.MaxSliceLen {
+		return nil, fmt.Errorf("phl: implausible entry count %d", off[n])
+	}
+	hubSlab := br.I32s()
+	distSlab := br.F64s()
 	br.Footer()
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("phl: verifying index: %w", err)
 	}
-	return ix, nil
+	if int64(len(hubSlab)) != off[n] || int64(len(distSlab)) != off[n] {
+		return nil, fmt.Errorf("phl: slabs hold %d/%d entries, offsets expect %d",
+			len(hubSlab), len(distSlab), off[n])
+	}
+	return &Index{n: n, rank: rank, off: off, hubSlab: hubSlab, distSlab: distSlab}, nil
 }

@@ -443,10 +443,26 @@ type incEntry struct {
 	point Point
 }
 
-// IncNN is an incremental nearest-neighbor iterator.
+// IncNN is an incremental nearest-neighbor iterator. The zero value is
+// usable after Reset; hot paths keep one per goroutine and Reset it per
+// scan so the frontier heap's storage is reused allocation-free.
 type IncNN struct {
 	x, y float64
 	h    *pqueue.Heap[incEntry]
+}
+
+// Reset re-aims the iterator at (x, y) over t, retaining the frontier
+// heap's storage.
+func (it *IncNN) Reset(t *Tree, x, y float64) {
+	it.x, it.y = x, y
+	if it.h == nil {
+		it.h = pqueue.NewHeap[incEntry](16)
+	} else {
+		it.h.Reset()
+	}
+	if t.size > 0 {
+		it.h.Push(t.root.rect.MinDist(x, y), incEntry{node: t.root})
+	}
 }
 
 // Next returns the next nearest point and its Euclidean distance. ok is

@@ -45,6 +45,7 @@ const (
 	mCacheBytes     = "fannr_cache_bytes"
 	mCoalesced      = "fannr_coalesced_total"
 	mBatchSize      = "fannr_batch_size"
+	mIndexBytes     = "fannr_index_bytes"
 )
 
 // batchSizeBuckets bound the fannr_batch_size histogram: batch sizes are
@@ -233,6 +234,11 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 			func() float64 { return float64(qc.Metrics().Entries) })
 		reg.GaugeFunc(mCacheBytes, "Approximate bytes held by live cache entries.",
 			func() float64 { return float64(qc.Metrics().Bytes) })
+	}
+	for name, bytes := range s.indexBytes {
+		b := bytes
+		reg.GaugeFunc(mIndexBytes, "Resident bytes of a preprocessing index.",
+			func() float64 { return float64(b) }, obs.L("index", name))
 	}
 	if s.flight != nil {
 		m.coalesced = reg.Counter(mCoalesced,

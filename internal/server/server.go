@@ -165,7 +165,15 @@ type Server struct {
 	qc      *qcache.Cache
 	flight  *qcache.Flight
 	batcher *qcache.Batcher
+	// indexBytes records the resident size of each preprocessing index
+	// (hub labels, G-tree, ...) for the fannr_index_bytes gauge and /meta.
+	// Written only before freeze (New and RegisterIndexBytes).
+	indexBytes map[string]int64
 }
+
+// memorySized is implemented by indexes that report their resident size
+// (phl.Index, gtree.Tree via Stats, ...).
+type memorySized interface{ MemoryBytes() int64 }
 
 // New builds a server over g.
 func New(g *graph.Graph, opts Options) (*Server, error) {
@@ -184,6 +192,10 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 		reg:              opts.Metrics,
 		logger:           opts.Logger,
 		pprof:            opts.Pprof,
+		indexBytes:       map[string]int64{},
+	}
+	if sized, ok := opts.PHL.(memorySized); ok {
+		s.indexBytes["phl"] = sized.MemoryBytes()
 	}
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
@@ -299,6 +311,23 @@ func (s *Server) AddEngine(name string, factory core.EngineFactory) error {
 	}
 	s.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, factory)
 	s.breakers[name] = s.newBreaker()
+	return nil
+}
+
+// RegisterIndexBytes records the resident size of a named preprocessing
+// index (e.g. "gtree" for a G-tree registered through AddEngine) so it
+// appears in the fannr_index_bytes gauge and /meta. Like AddEngine it is
+// rejected once Handler has frozen the server.
+func (s *Server) RegisterIndexBytes(name string, bytes int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return fmt.Errorf("server: RegisterIndexBytes(%q) after Handler — configuration is frozen once serving starts", name)
+	}
+	if name == "" {
+		return errors.New("server: RegisterIndexBytes needs a name")
+	}
+	s.indexBytes[name] = bytes
 	return nil
 }
 
@@ -559,6 +588,12 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 		cache["evictions"] = cm.Evictions
 		cache["hit_rate"] = cacheHitRate(cm)
 	}
+	// Index sizes are read back from the gauge like everything else so
+	// /meta and /metrics cannot disagree.
+	indexes := make(map[string]int64, len(s.indexBytes))
+	for name := range s.indexBytes {
+		indexes[name] = val(mIndexBytes, obs.L("index", name))
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": s.g.Name(),
 		"nodes":   s.g.NumNodes(),
@@ -566,6 +601,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 		"coords":  s.g.HasCoords(),
 		"engines": names,
 		"pools":   poolStats,
+		"indexes": indexes,
 		"dist": map[string]any{
 			"inflight": distInflight, "queued": distQueued, "shed": distShed,
 		},
@@ -810,6 +846,11 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		// Scratch rides with the engine checkout: warm buffers make the
+		// steady-state query allocation-free. Answers may alias it until
+		// detachSubsets below, which runs before the Scratch is repooled.
+		scr := pool.GetScratch()
+		q.Scratch = scr
 
 		stop := q.BindContext(ctx)
 		defer stop()
@@ -835,6 +876,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			if completed {
 				core.BindStats(gp, nil)
 				pool.Release(gp)
+				pool.PutScratch(scr)
 				return
 			}
 			// On panic the engine's internal state is suspect: drop it for
@@ -851,6 +893,10 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		elapsed := time.Since(computeStart)
 		computeMicros = elapsed.Microseconds()
 		em.compute.Observe(elapsed.Seconds())
+		// Detach before the deferred PutScratch: the answers outlive the
+		// checkout (JSON encoding, the result cache, coalesced followers),
+		// so any subset aliasing the Scratch must be cloned first.
+		detachSubsets(answers)
 		if err == nil {
 			s.qc.PutResult(rkey, answers)
 		}
@@ -925,6 +971,17 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// detachSubsets clones every answer's subset out of whatever buffer the
+// engine or Scratch produced it in, giving the answers independent
+// lifetimes.
+func detachSubsets(answers []core.Answer) {
+	for i, a := range answers {
+		if len(a.Subset) > 0 {
+			answers[i].Subset = append([]graph.NodeID(nil), a.Subset...)
+		}
+	}
 }
 
 // routeEngine resolves which pool serves a request for requested: the

@@ -34,6 +34,21 @@ type Dijkstra struct {
 	parent []graph.NodeID
 	stamp  []uint32
 	epoch  uint32
+	// bdist/bstamp record final (settled) distances for DistBatch. dist
+	// cannot serve as the record: it holds tentative values for
+	// reached-but-unsettled nodes when the search truncates early.
+	// bdist[v] is the settled distance when >= 0 and "requested target,
+	// not yet settled" when -1; bstamp gates both on bepoch, which
+	// advances once per batch *source*, not per call, so consecutive
+	// same-source batches resume one search. bsrc/brun identify that live
+	// search: brun is the d.epoch it runs under, so any interleaved
+	// Run/Dist/KNNAmong (each calls reset, bumping d.epoch) invalidates
+	// the resume and the next batch starts fresh.
+	bdist  []float64
+	bstamp []uint32
+	bepoch uint32
+	bsrc   graph.NodeID
+	brun   uint32
 	// nodesScanned counts settled nodes since construction; used by the
 	// experiment harness to report search effort.
 	nodesScanned int64
@@ -158,6 +173,82 @@ func (d *Dijkstra) All(src graph.NodeID) []float64 {
 		return true
 	})
 	return out
+}
+
+// DistBatch computes shortest-path distances from src to every member of
+// targets in one search truncated when the last distinct target settles,
+// writing out[i] for targets[i] (+Inf for unreachable). It replaces
+// len(targets) independent Dist calls with a single frontier expansion —
+// and consecutive calls with the same src resume that expansion where it
+// stopped, so an incremental caller (IER's chunked candidate scan) pays
+// one progressive search total, not one truncated search per chunk. Any
+// interleaved Run/Dist/KNNAmong discards the resumable frontier; the
+// next batch then starts fresh. targets may contain duplicates and src
+// itself; len(out) must be at least len(targets). Warm engines allocate
+// nothing.
+func (d *Dijkstra) DistBatch(src graph.NodeID, targets []graph.NodeID, out []float64) {
+	if len(targets) == 0 {
+		return
+	}
+	_ = out[len(targets)-1]
+	if d.bstamp == nil {
+		d.bdist = make([]float64, len(d.stamp))
+		d.bstamp = make([]uint32, len(d.stamp))
+	}
+	if d.brun == 0 || d.brun != d.epoch || d.bsrc != src {
+		d.bepoch++
+		if d.bepoch == 0 {
+			for i := range d.bstamp {
+				d.bstamp[i] = 0
+			}
+			d.bepoch = 1
+		}
+		d.reset()
+		d.stamp[src] = d.epoch
+		d.dist[src] = 0
+		d.parent[src] = -1
+		d.h.Update(src, 0)
+		d.bsrc = src
+		d.brun = d.epoch
+	}
+	pending := 0
+	for _, t := range targets {
+		if d.bstamp[t] != d.bepoch {
+			d.bstamp[t] = d.bepoch
+			d.bdist[t] = -1 // requested, not yet settled
+			pending++
+		}
+	}
+	// Inlined Run loop: a visit closure would capture the pending counter
+	// and heap-allocate, defeating the zero-alloc contract. Every settled
+	// node is recorded — not just targets — so a later same-source call
+	// can serve any already-settled target without touching the heap.
+	for pending > 0 && d.h.Len() > 0 {
+		v, dv := d.h.Pop()
+		d.nodesScanned++
+		if d.bstamp[v] == d.bepoch && d.bdist[v] < 0 {
+			pending--
+		}
+		d.bstamp[v] = d.bepoch
+		d.bdist[v] = dv
+		nbrs, ws := d.g.Neighbors(v)
+		for i, u := range nbrs {
+			du := dv + ws[i]
+			if d.stamp[u] != d.epoch || du < d.dist[u] {
+				d.stamp[u] = d.epoch
+				d.dist[u] = du
+				d.parent[u] = v
+				d.h.Update(u, du)
+			}
+		}
+	}
+	for i, t := range targets {
+		if d.bstamp[t] == d.bepoch && d.bdist[t] >= 0 {
+			out[i] = d.bdist[t]
+		} else {
+			out[i] = Inf // frontier exhausted: t is unreachable from src
+		}
+	}
 }
 
 // KNNAmong returns the k nearest members of targets (by network distance
