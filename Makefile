@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard
+.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard bench-load
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -92,3 +92,10 @@ bench-hotpath:
 ## cancels machine-speed noise between runs).
 bench-guard:
 	$(GO) run ./cmd/fannr-bench -guard BENCH_PR6.json
+
+## Index load benchmark: time-to-first-query for heap deserialization vs
+## zero-copy mmap over the same v4 files, as a same-run ratio. Fails if
+## mmap is not ≥10× faster per index; BENCH_PR7.json is the checked-in
+## run. Builds ~225 MB of indexes in a temp dir first (a few minutes).
+bench-load:
+	$(GO) run ./cmd/fannr-bench -load BENCH_PR7.json -scale 0.0625

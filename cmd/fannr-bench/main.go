@@ -36,6 +36,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write a machine-readable benchmark report (latency quantiles + op counts) to this file and exit")
 		cacheOut = flag.String("cache", "", "write the semantic-cache benchmark report (hit rate + latency-saved quantiles under a Zipf-repeat workload) to this file and exit")
 		hotOut   = flag.String("hotpath", "", "write the hot-path benchmark report (batched vs per-pair distance lookups per engine) to this file and exit")
+		loadOut  = flag.String("load", "", "write the index load benchmark report (time-to-first-query, heap vs zero-copy mmap, same-run ratio) to this file and exit")
 		guardIn  = flag.String("guard", "", "run the hot-path benchmark and fail if any IER engine's batched cold p50 AND same-run speedup both regress >10% against this baseline report")
 	)
 	flag.Parse()
@@ -74,6 +75,13 @@ func main() {
 		}
 		return
 	}
+	if *loadOut != "" {
+		if err := writeLoadBench(*loadOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fannr-bench: -load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *guardIn != "" {
 		if err := guardHotpath(*guardIn, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "fannr-bench: -guard: %v\n", err)
@@ -82,7 +90,7 @@ func main() {
 		return
 	}
 	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache, -hotpath, -guard)")
+		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache, -hotpath, -load, -guard)")
 		os.Exit(2)
 	}
 	ids := []string{*expID}
@@ -171,6 +179,35 @@ func writeHotpathBench(path string, cfg fannr.ExpConfig) error {
 			eh.Algo, eh.Engine, eh.BatchedP50Micros, eh.PerPairP50Micros, eh.SpeedupP50)
 	}
 	fmt.Printf("[hotpath report written to %s in %s]\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeLoadBench runs the index load (time-to-first-query) benchmark,
+// enforces the same-run mmap-vs-heap ratio floor, and writes the report.
+func writeLoadBench(path string, cfg fannr.ExpConfig) error {
+	start := time.Now()
+	report, err := fannr.RunLoadBench(cfg)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, il := range report.Indexes {
+		fmt.Printf("[load %s: %.1f MB file, heap TTFQ %dµs, mmap TTFQ %dµs, %.0f×]\n",
+			il.Index, float64(il.FileBytes)/1e6, il.HeapTTFQMicros, il.MmapTTFQMicros, il.Speedup)
+	}
+	fmt.Printf("[load report written to %s in %s]\n", path, time.Since(start).Round(time.Millisecond))
+	if violations := fannr.GuardLoad(report, 10); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		return fmt.Errorf("%d load-path violation(s)", len(violations))
+	}
 	return nil
 }
 

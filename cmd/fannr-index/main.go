@@ -8,6 +8,12 @@
 //	fannr-index -dataset NW -scale 0.0625 -kind phl -out nw.phl
 //	fannr-index -gr nw.gr -co nw.co -kind gtree -out nw.gtree
 //	fannr-index -dataset NW -kind all -out nw       # nw.phl nw.gtree nw.ch
+//	fannr-index -in old.phl -kind phl -out nw.phl   # convert v3 -> v4
+//
+// With -in, an existing index file is converted to the current on-disk
+// format (v4, mmap-able) instead of being rebuilt. G-tree conversion
+// still needs the graph flags, because a G-tree file stores only what
+// the graph cannot reproduce.
 package main
 
 import (
@@ -31,31 +37,36 @@ func main() {
 		out     = flag.String("out", "index", "output path (suffixes added for -kind all)")
 		leaf    = flag.Int("gtree-leaf", 256, "G-tree max leaf size (tau)")
 		workers = flag.Int("workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
+		in      = flag.String("in", "", "existing index file to convert to the current format instead of rebuilding (requires a single -kind; gtree also needs the graph flags)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *grFile, *coFile, *kind, *out, *leaf, *workers); err != nil {
+	if err := run(*dataset, *scale, *grFile, *coFile, *kind, *out, *leaf, *workers, *in); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-index:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf, workers int) error {
-	g, err := loadGraph(dataset, scale, grFile, coFile)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
-
+func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf, workers int, in string) error {
 	save := func(name string, build func(w io.Writer) (int64, error)) error {
 		start := time.Now()
 		bytes, err := atomicWrite(name, build)
 		if err != nil {
-			return err
+			return fmt.Errorf("writing %s: %w", name, err)
 		}
 		fmt.Printf("wrote %s: ~%.1f MB in %s\n", name, float64(bytes)/1e6,
 			time.Since(start).Round(time.Millisecond))
 		return nil
 	}
+
+	if in != "" {
+		return convert(in, kind, out, dataset, scale, grFile, coFile, save)
+	}
+
+	g, err := loadGraph(dataset, scale, grFile, coFile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %s |V|=%d |E|=%d\n", g.Name(), g.NumNodes(), g.NumEdges())
 
 	wants := func(k string) bool { return kind == k || kind == "all" }
 	suffix := func(k string) string {
@@ -105,6 +116,50 @@ func run(dataset string, scale float64, grFile, coFile, kind, out string, leaf, 
 		return fmt.Errorf("unknown index kind %q", kind)
 	}
 	return nil
+}
+
+// convert reads an existing index file (current or previous format) and
+// rewrites it in the current format, so operators upgrade files in
+// place instead of paying the full rebuild.
+func convert(in, kind, out string, dataset string, scale float64, grFile, coFile string,
+	save func(string, func(io.Writer) (int64, error)) error) error {
+	switch kind {
+	case "phl":
+		ix, err := fannr.LoadPHL(in, fannr.LoadOptions{})
+		if err != nil {
+			return fmt.Errorf("converting %s: %w", in, err)
+		}
+		defer ix.Close()
+		fmt.Printf("converting %s (~%.1f MB hub labels)\n", in, float64(ix.MemoryBytes())/1e6)
+		return save(out, func(w io.Writer) (int64, error) { return ix.MemoryBytes(), ix.Save(w) })
+	case "gtree":
+		g, err := loadGraph(dataset, scale, grFile, coFile)
+		if err != nil {
+			return err
+		}
+		tr, err := fannr.LoadGTree(in, g, fannr.LoadOptions{})
+		if err != nil {
+			return fmt.Errorf("converting %s: %w", in, err)
+		}
+		defer tr.Close()
+		fmt.Printf("converting %s (~%.1f MB G-tree over %s)\n", in,
+			float64(tr.Stats().MemoryBytes)/1e6, g.Name())
+		return save(out, func(w io.Writer) (int64, error) { return tr.Stats().MemoryBytes, tr.Save(w) })
+	case "ch":
+		f, err := os.Open(in)
+		if err != nil {
+			return fmt.Errorf("converting: %w", err)
+		}
+		defer f.Close()
+		ix, err := fannr.ReadCH(f)
+		if err != nil {
+			return fmt.Errorf("converting %s: %w", in, err)
+		}
+		fmt.Printf("converting %s (~%.1f MB contraction hierarchy)\n", in, float64(ix.MemoryBytes())/1e6)
+		return save(out, func(w io.Writer) (int64, error) { return ix.MemoryBytes(), ix.Save(w) })
+	default:
+		return fmt.Errorf("-in needs a single -kind (phl | gtree | ch), got %q", kind)
+	}
 }
 
 // atomicWrite streams build into a temp file next to name, fsyncs it,

@@ -35,6 +35,12 @@
 // across φ and k (subsumption). -coalesce (default on) collapses
 // concurrent identical queries onto one computation, and -batch-window
 // groups same-Q queries onto one engine checkout.
+// Startup cost: -phl-index and -gtree-index point at files written by
+// fannr-index so the server loads instead of rebuilding. -mmap (default
+// auto) memory-maps v4 index files read-only for near-instant start
+// independent of index size; pre-v4 files fall back to a heap read
+// (-mmap on makes that fallback a startup error, -mmap off disables
+// mapping entirely).
 // Errors carry a stable JSON shape {"error":..., "code":...}; see
 // internal/server for the taxonomy. On SIGINT/SIGTERM the server flips
 // /healthz and /readyz to 503, stops accepting connections, and drains
@@ -66,6 +72,9 @@ type config struct {
 	addr             string
 	engines          string
 	workers          int
+	phlIndex         string
+	gtreeIndex       string
+	mmapMode         string
 	queryTimeout     time.Duration
 	drainTimeout     time.Duration
 	maxInFlight      int
@@ -90,6 +99,9 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.engines, "engines", "PHL", "indexes to build at startup: comma-separated from PHL,GTree,CH")
 	flag.IntVar(&cfg.workers, "workers", 0, "index-build workers (0 = GOMAXPROCS, 1 = sequential)")
+	flag.StringVar(&cfg.phlIndex, "phl-index", "", "load the PHL engine's hub labels from this fannr-index file instead of building at startup")
+	flag.StringVar(&cfg.gtreeIndex, "gtree-index", "", "load the GTree engine's tree from this fannr-index file instead of building at startup")
+	flag.StringVar(&cfg.mmapMode, "mmap", "auto", "zero-copy index loading: auto (mmap v4 files, heap-read older), on (require mmap; v4 files only), off (always heap-read)")
 	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 10*time.Second, "per-request compute budget for /fann (0 = unlimited)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown drain budget after SIGINT/SIGTERM")
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "per-engine cap on concurrent queries (0 = unbounded)")
@@ -132,8 +144,27 @@ func parseFallback(s string) (map[string]string, error) {
 	return ladder, nil
 }
 
+// mmapOptions maps the -mmap mode onto load options plus whether a
+// mapped result is mandatory.
+func mmapOptions(mode string) (opts fannr.LoadOptions, require bool, err error) {
+	switch mode {
+	case "auto":
+		return fannr.LoadOptions{Mmap: true}, false, nil
+	case "on":
+		return fannr.LoadOptions{Mmap: true}, true, nil
+	case "off":
+		return fannr.LoadOptions{Mmap: false}, false, nil
+	default:
+		return fannr.LoadOptions{}, false, fmt.Errorf("-mmap must be auto, on, or off (got %q)", mode)
+	}
+}
+
 func run(cfg config) error {
 	ladder, err := parseFallback(cfg.fallback)
+	if err != nil {
+		return err
+	}
+	loadOpts, requireMmap, err := mmapOptions(cfg.mmapMode)
 	if err != nil {
 		return err
 	}
@@ -166,6 +197,18 @@ func run(cfg config) error {
 		case "", "INE", "A*":
 			// always available
 		case "PHL":
+			if cfg.phlIndex != "" {
+				ix, err := fannr.LoadPHL(cfg.phlIndex, loadOpts)
+				if err != nil {
+					return fmt.Errorf("loading PHL index %s: %w", cfg.phlIndex, err)
+				}
+				if requireMmap && !ix.Mapped() {
+					return fmt.Errorf("loading PHL index %s: -mmap=on but the file cannot be zero-copy mapped (convert it to v4 with fannr-index -in)", cfg.phlIndex)
+				}
+				fmt.Printf("loaded hub labels from %s (mapped=%v)\n", cfg.phlIndex, ix.Mapped())
+				opts.PHL = ix
+				break
+			}
 			fmt.Println("building hub labels...")
 			ix, err := fannr.BuildPHL(g, fannr.PHLOptions{})
 			if err != nil {
@@ -173,6 +216,18 @@ func run(cfg config) error {
 			}
 			opts.PHL = ix
 		case "GTree":
+			if cfg.gtreeIndex != "" {
+				tr, err := fannr.LoadGTree(cfg.gtreeIndex, g, loadOpts)
+				if err != nil {
+					return fmt.Errorf("loading GTree index %s: %w", cfg.gtreeIndex, err)
+				}
+				if requireMmap && !tr.Mapped() {
+					return fmt.Errorf("loading GTree index %s: -mmap=on but the file cannot be zero-copy mapped (convert it to v4 with fannr-index -in)", cfg.gtreeIndex)
+				}
+				fmt.Printf("loaded G-tree from %s (mapped=%v)\n", cfg.gtreeIndex, tr.Mapped())
+				gtreeIndex = tr
+				break
+			}
 			fmt.Println("building G-tree...")
 			tr, err := fannr.BuildGTree(g, fannr.GTreeOptions{Workers: cfg.workers})
 			if err != nil {
@@ -200,7 +255,7 @@ func run(cfg config) error {
 		}); err != nil {
 			return err
 		}
-		if err := srv.RegisterIndexBytes("gtree", gtreeIndex.Stats().MemoryBytes); err != nil {
+		if err := srv.RegisterIndex("gtree", gtreeIndex.Stats().MemoryBytes, gtreeIndex.MappedBytes()); err != nil {
 			return err
 		}
 	}

@@ -33,6 +33,7 @@ package fannr
 import (
 	"io"
 
+	"fannr/internal/binio"
 	"fannr/internal/ch"
 	"fannr/internal/core"
 	"fannr/internal/exp"
@@ -242,6 +243,38 @@ func BuildGTree(g *Graph, opts GTreeOptions) (*GTree, error) { return gtree.Buil
 // reattaching it to the graph it was built on.
 func ReadGTree(r io.Reader, g *Graph) (*GTree, error) { return gtree.Read(r, g) }
 
+// LoadOptions controls how a persisted index file is opened by LoadPHL
+// and LoadGTree.
+type LoadOptions struct {
+	// Mmap memory-maps format-v4 index files read-only and points the
+	// index's slabs straight at the mapping (zero-copy, demand-paged —
+	// time to first query is independent of index size). Pre-v4 files
+	// fall back to a heap conversion read. The file must stay unmodified
+	// on disk for the index's lifetime; Close the index to unmap.
+	Mmap bool
+	// Verify forces per-section checksum verification even under Mmap.
+	// Heap loads always verify; mapped loads skip it by default so that
+	// opening a beyond-RAM index does not fault in every page.
+	Verify bool
+}
+
+// LoadPHL opens a hub-label index file (format v3 or v4).
+func LoadPHL(path string, opts LoadOptions) (*PHLIndex, error) {
+	return phl.Load(path, phl.LoadOptions(opts))
+}
+
+// LoadGTree opens a G-tree index file (format v3 or v4), reattaching it
+// to the graph it was built on.
+func LoadGTree(path string, g *Graph, opts LoadOptions) (*GTree, error) {
+	return gtree.Load(path, g, gtree.LoadOptions(opts))
+}
+
+// FormatVersionError is returned (wrapped) when an index file's on-disk
+// format version differs from what this build reads — e.g. a v2 file
+// offered to the v4 loader. Rebuild or convert the file with
+// fannr-index.
+type FormatVersionError = binio.FormatVersionError
+
 // ReadCH loads a contraction hierarchy previously persisted with
 // CHIndex.Save.
 func ReadCH(r io.Reader) (*CHIndex, error) { return ch.Read(r) }
@@ -340,6 +373,10 @@ type (
 	// -hotpath emits: batched vs per-pair distance-lookup latency per
 	// engine, plus the headline algorithm table.
 	HotpathReport = exp.HotpathReport
+	// LoadReport is the index time-to-first-query benchmark fannr-bench
+	// -load emits: heap vs zero-copy mmap load latency per index, as a
+	// same-run ratio.
+	LoadReport = exp.LoadReport
 )
 
 // RunExperiment regenerates one of the paper's figures or tables by id
@@ -370,4 +407,16 @@ func RunHotpathBench(cfg ExpConfig) (*HotpathReport, error) { return exp.RunHotp
 // runs, so only genuine batching regressions fire.
 func GuardHotpath(baseline, current *HotpathReport, tolerance float64) []string {
 	return exp.GuardHotpath(baseline, current, tolerance)
+}
+
+// RunLoadBench measures time-to-first-query for the heap and zero-copy
+// mmap index load paths over the same persisted v4 files and returns the
+// structured report (fannr-bench -load). The headline per-index number
+// is the same-run heap/mmap ratio.
+func RunLoadBench(cfg ExpConfig) (*LoadReport, error) { return exp.RunLoadBench(cfg) }
+
+// GuardLoad checks a load report's same-run invariant: every index must
+// open at least minSpeedup× faster mmapped than heap-deserialized.
+func GuardLoad(report *LoadReport, minSpeedup float64) []string {
+	return exp.GuardLoad(report, minSpeedup)
 }

@@ -135,7 +135,11 @@ func (r *Reader) read(n int) []byte {
 	return r.buf[:n]
 }
 
-// Magic consumes and verifies a fixed-length tag.
+// Magic consumes and verifies a fixed-length tag. A stream carrying a
+// different version of the same index family (say a FANNRPHL2 file fed
+// to a FANNRPHL4 reader) fails with a *FormatVersionError naming both
+// versions, so callers can attach a "rebuild the index" hint instead of
+// an opaque bad-magic message.
 func (r *Reader) Magic(tag string) {
 	if r.err != nil {
 		return
@@ -147,7 +151,7 @@ func (r *Reader) Magic(tag string) {
 	}
 	r.crc = crc32.Update(r.crc, crc32.IEEETable, got)
 	if string(got) != tag {
-		r.err = fmt.Errorf("binio: bad magic %q, want %q", got, tag)
+		r.err = magicError(string(got), tag)
 	}
 }
 

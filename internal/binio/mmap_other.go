@@ -1,0 +1,31 @@
+//go:build !unix
+
+package binio
+
+import "os"
+
+// Mapping is the portable fallback for platforms without mmap: the file
+// is read into heap memory. The API is identical, so callers never
+// branch on platform; only the sharing and beyond-RAM properties differ.
+type Mapping struct {
+	Data []byte
+}
+
+// MapFile reads the file at path into memory.
+func MapFile(path string) (*Mapping, error) {
+	data, err := readFileAligned(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: data}, nil
+}
+
+// Close releases the buffer.
+func (m *Mapping) Close() error {
+	m.Data = nil
+	return nil
+}
+
+// mmapSupported reports whether MapFile performs a true mmap on this
+// platform.
+const mmapSupported = false

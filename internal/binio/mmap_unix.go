@@ -1,0 +1,59 @@
+//go:build unix
+
+package binio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mapping is a read-only memory-mapped file. Data aliases the kernel page
+// cache: loads fault pages in on demand, several processes mapping the
+// same index share one physical copy, and a file larger than RAM is
+// usable without ever being resident all at once. The pages are mapped
+// PROT_READ, so any stray write through a view is a segfault, not silent
+// corruption — the immutability contract is enforced by the MMU.
+type Mapping struct {
+	Data []byte
+}
+
+// MapFile maps the file at path read-only. An empty file maps to an
+// empty (nil-Data) Mapping, since mmap of length 0 is an error on Linux.
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("binio: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("binio: mmap %s: %w", path, err)
+	}
+	return &Mapping{Data: data}, nil
+}
+
+// Close unmaps the file. All views into Data become invalid.
+func (m *Mapping) Close() error {
+	if m.Data == nil {
+		return nil
+	}
+	data := m.Data
+	m.Data = nil
+	return syscall.Munmap(data)
+}
+
+// mmapSupported reports whether MapFile performs a true mmap on this
+// platform (as opposed to the heap-read fallback).
+const mmapSupported = true

@@ -1,0 +1,526 @@
+package binio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+)
+
+// On-disk format v4: a section file is a self-describing container whose
+// payload arrays sit at 64-byte-aligned offsets so a loader can mmap the
+// file read-only and point []int32/[]int64/[]float64 views straight at
+// the page cache — no decode, no copy, no GC pressure, and the index is
+// query-ready in the time it takes to validate a few kilobytes of
+// metadata.
+//
+//	magic           len(magic) bytes, e.g. "FANNRPHL4\n"
+//	headerLen       int64
+//	header payload  headerLen bytes of format-specific little-endian values
+//	sectionCount    int64
+//	section table   sectionCount × 24 bytes: {off int64, count int64,
+//	                 kind uint32, crc uint32}
+//	table CRC32     uint32 over every byte above
+//	padding         zero bytes to the first 64-byte boundary
+//	sections        raw little-endian arrays, each 64-byte-aligned,
+//	                 zero-padded between sections
+//
+// The table CRC seals the metadata (magic through table), so a forged or
+// bit-rotted section table is rejected before any offset is trusted; the
+// per-section CRCs seal the payloads and are verified on heap loads (and
+// on mmap loads when LoadOptions.Verify is set — by default an mmap load
+// trusts the kernel page cache rather than touching every page of a
+// beyond-RAM file).
+const (
+	// Align is the section alignment: 64 bytes covers every element type
+	// this package stores and matches a cache line, and any file offset
+	// that is 64-byte-aligned is also 8-byte-aligned inside a page-aligned
+	// mmap, which is what unsafe.Slice needs for float64/int64 views.
+	Align = 64
+
+	// Section element kinds.
+	KindI32 = uint32(1)
+	KindI64 = uint32(2)
+	KindF64 = uint32(3)
+
+	tableEntrySize = 24
+)
+
+func kindSize(kind uint32) int {
+	switch kind {
+	case KindI32:
+		return 4
+	case KindI64, KindF64:
+		return 8
+	}
+	return 0
+}
+
+// MaxSectionCount bounds the number of sections a table may declare; real
+// formats use a handful, so anything large is a forged header.
+const MaxSectionCount = 1 << 10
+
+// MaxHeaderLen bounds the header payload a section file may declare.
+const MaxHeaderLen = 1 << 20
+
+// SectionWriter assembles a v4 section file. Sections are referenced, not
+// copied, so staging a multi-gigabyte index costs no extra memory; the
+// whole file is emitted in one forward pass by WriteTo because every
+// offset is computable up front.
+type SectionWriter struct {
+	magic    string
+	header   []byte
+	sections []section
+}
+
+type section struct {
+	kind uint32
+	i32  []int32
+	i64  []int64
+	f64  []float64
+}
+
+func (s *section) count() int64 {
+	switch s.kind {
+	case KindI32:
+		return int64(len(s.i32))
+	case KindI64:
+		return int64(len(s.i64))
+	default:
+		return int64(len(s.f64))
+	}
+}
+
+// NewSectionWriter starts a v4 file with the given magic tag.
+func NewSectionWriter(magic string) *SectionWriter {
+	return &SectionWriter{magic: magic}
+}
+
+// HeaderI64 appends one int64 to the header payload. Headers carry the
+// handful of scalars (node counts, options) a format needs before its
+// arrays.
+func (w *SectionWriter) HeaderI64(v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	w.header = append(w.header, b[:]...)
+}
+
+// I32Section appends an int32 array section. The slice is referenced, not
+// copied; it must not change before WriteTo returns.
+func (w *SectionWriter) I32Section(vs []int32) {
+	w.sections = append(w.sections, section{kind: KindI32, i32: vs})
+}
+
+// I64Section appends an int64 array section.
+func (w *SectionWriter) I64Section(vs []int64) {
+	w.sections = append(w.sections, section{kind: KindI64, i64: vs})
+}
+
+// F64Section appends a float64 array section.
+func (w *SectionWriter) F64Section(vs []float64) {
+	w.sections = append(w.sections, section{kind: KindF64, f64: vs})
+}
+
+// alignUp rounds n up to the next multiple of Align.
+func alignUp(n int64) int64 { return (n + Align - 1) &^ (Align - 1) }
+
+// WriteTo emits the complete file. It returns the number of bytes
+// written.
+func (w *SectionWriter) WriteTo(out io.Writer) (int64, error) {
+	metaLen := int64(len(w.magic)) + 8 + int64(len(w.header)) + 8 +
+		int64(len(w.sections))*tableEntrySize + 4
+	// Lay the sections out back to back, each aligned up.
+	offs := make([]int64, len(w.sections))
+	crcs := make([]uint32, len(w.sections))
+	pos := alignUp(metaLen)
+	for i := range w.sections {
+		s := &w.sections[i]
+		offs[i] = pos
+		crcs[i] = s.crc()
+		pos = alignUp(pos + s.count()*int64(kindSize(s.kind)))
+	}
+
+	meta := make([]byte, 0, metaLen)
+	meta = append(meta, w.magic...)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(len(w.header)))
+	meta = append(meta, w.header...)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(len(w.sections)))
+	for i := range w.sections {
+		s := &w.sections[i]
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(offs[i]))
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(s.count()))
+		meta = binary.LittleEndian.AppendUint32(meta, s.kind)
+		meta = binary.LittleEndian.AppendUint32(meta, crcs[i])
+	}
+	meta = binary.LittleEndian.AppendUint32(meta, crc32.ChecksumIEEE(meta))
+
+	var written int64
+	emit := func(b []byte) error {
+		n, err := out.Write(b)
+		written += int64(n)
+		return err
+	}
+	if err := emit(meta); err != nil {
+		return written, err
+	}
+	var pad [Align]byte
+	padTo := func(target int64) error {
+		for written < target {
+			n := target - written
+			if n > Align {
+				n = Align
+			}
+			if err := emit(pad[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range w.sections {
+		if err := padTo(offs[i]); err != nil {
+			return written, err
+		}
+		if err := w.sections[i].encode(emit); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// encodeChunk is the staging buffer size for section encoding: big enough
+// to amortize Write calls, small enough to stay cache-resident.
+const encodeChunk = 64 * 1024
+
+// encode streams the section's little-endian bytes through emit in
+// bounded chunks.
+func (s *section) encode(emit func([]byte) error) error {
+	buf := make([]byte, 0, encodeChunk)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := emit(buf)
+		buf = buf[:0]
+		return err
+	}
+	switch s.kind {
+	case KindI32:
+		for _, v := range s.i32 {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+			if len(buf) >= encodeChunk {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	case KindI64:
+		for _, v := range s.i64 {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			if len(buf) >= encodeChunk {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		for _, v := range s.f64 {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			if len(buf) >= encodeChunk {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return flush()
+}
+
+// crc computes the CRC32 of the section's encoded bytes.
+func (s *section) crc() uint32 {
+	var c uint32
+	_ = s.encode(func(b []byte) error {
+		c = crc32.Update(c, crc32.IEEETable, b)
+		return nil
+	})
+	return c
+}
+
+// sectionMeta is one parsed table entry.
+type sectionMeta struct {
+	off   int64
+	count int64
+	kind  uint32
+	crc   uint32
+}
+
+// SectionFile is a parsed v4 container. Its accessors hand out zero-copy
+// views into the backing bytes whenever the platform allows (little-endian
+// host, aligned data) and silently fall back to heap-decoded copies
+// otherwise, so callers never branch on platform.
+type SectionFile struct {
+	data     []byte
+	header   []byte
+	sections []sectionMeta
+	mapping  *Mapping // non-nil when data is an mmap'd file
+}
+
+// ParseSections validates the metadata of a v4 byte stream: magic, header
+// length, section table bounds (in-file, aligned, ascending,
+// non-overlapping), and the table CRC that seals all of it. Section
+// payload CRCs are NOT verified here — call VerifySections for that — so
+// parsing an mmap'd beyond-RAM file touches only the metadata pages.
+func ParseSections(data []byte, magic string) (*SectionFile, error) {
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("binio: %d-byte stream is shorter than the %q magic", len(data), magic)
+	}
+	if got := string(data[:len(magic)]); got != magic {
+		return nil, magicError(got, magic)
+	}
+	pos := int64(len(magic))
+	fileLen := int64(len(data))
+	readI64 := func() (int64, bool) {
+		if pos+8 > fileLen {
+			return 0, false
+		}
+		v := int64(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		return v, true
+	}
+	headerLen, ok := readI64()
+	if !ok || headerLen < 0 || headerLen > MaxHeaderLen {
+		return nil, fmt.Errorf("binio: implausible header length %d", headerLen)
+	}
+	if pos+headerLen > fileLen {
+		return nil, fmt.Errorf("binio: %d-byte header extends past the %d-byte file", headerLen, fileLen)
+	}
+	header := data[pos : pos+headerLen]
+	pos += headerLen
+	count, ok := readI64()
+	if !ok || count < 0 || count > MaxSectionCount {
+		return nil, fmt.Errorf("binio: implausible section count %d", count)
+	}
+	if pos+count*tableEntrySize+4 > fileLen {
+		return nil, fmt.Errorf("binio: section table truncated: %d entries need %d bytes, file has %d past the header",
+			count, count*tableEntrySize+4, fileLen-pos)
+	}
+	sections := make([]sectionMeta, count)
+	prevEnd := alignUp(pos + count*tableEntrySize + 4)
+	for i := range sections {
+		s := &sections[i]
+		s.off = int64(binary.LittleEndian.Uint64(data[pos:]))
+		s.count = int64(binary.LittleEndian.Uint64(data[pos+8:]))
+		s.kind = binary.LittleEndian.Uint32(data[pos+16:])
+		s.crc = binary.LittleEndian.Uint32(data[pos+20:])
+		pos += tableEntrySize
+		esz := kindSize(s.kind)
+		if esz == 0 {
+			return nil, fmt.Errorf("binio: section %d has unknown element kind %d", i, s.kind)
+		}
+		if s.off%Align != 0 {
+			return nil, fmt.Errorf("binio: section %d offset %d is not %d-byte aligned", i, s.off, Align)
+		}
+		if s.count < 0 || s.count > MaxSliceLen {
+			return nil, fmt.Errorf("binio: section %d has implausible length %d", i, s.count)
+		}
+		if s.off < prevEnd {
+			return nil, fmt.Errorf("binio: section %d at offset %d overlaps the bytes before it (first free offset %d)",
+				i, s.off, prevEnd)
+		}
+		end := s.off + s.count*int64(esz)
+		if end > fileLen {
+			return nil, fmt.Errorf("binio: section %d claims bytes [%d,%d) beyond the %d-byte file",
+				i, s.off, end, fileLen)
+		}
+		prevEnd = s.off + s.count*int64(esz)
+	}
+	// The table CRC seals everything parsed above; verify it last so the
+	// structural errors above stay descriptive for honest corruption.
+	want := binary.LittleEndian.Uint32(data[pos:])
+	if got := crc32.ChecksumIEEE(data[:pos]); got != want {
+		return nil, fmt.Errorf("binio: section table checksum mismatch: table carries %#08x, metadata hashes to %#08x", want, got)
+	}
+	return &SectionFile{data: data, header: header, sections: sections}, nil
+}
+
+// OpenSectionFile maps (or, when mmap is unavailable or mapped=false,
+// reads) the file at path and parses its section table. Close releases
+// the mapping.
+func OpenSectionFile(path, magic string, mapped bool) (*SectionFile, error) {
+	if !mapped {
+		data, err := readFileAligned(path)
+		if err != nil {
+			return nil, err
+		}
+		return ParseSections(data, magic)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := ParseSections(m.Data, magic)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	sf.mapping = m
+	return sf, nil
+}
+
+// Close releases the mmap mapping, if any. Views handed out by the
+// accessors become invalid; the caller must not use them afterwards.
+func (f *SectionFile) Close() error {
+	if f.mapping == nil {
+		return nil
+	}
+	m := f.mapping
+	f.mapping = nil
+	f.data = nil
+	return m.Close()
+}
+
+// Mapped reports whether the backing bytes are an mmap'd file rather
+// than heap memory.
+func (f *SectionFile) Mapped() bool { return f.mapping != nil }
+
+// MappedBytes returns the size of the mmap'd region backing this file, or
+// 0 for heap-backed files.
+func (f *SectionFile) MappedBytes() int64 {
+	if f.mapping == nil {
+		return 0
+	}
+	return int64(len(f.data))
+}
+
+// Header returns a cursor over the header payload.
+func (f *SectionFile) Header() *HeaderReader { return &HeaderReader{data: f.header} }
+
+// NumSections returns the number of sections in the table.
+func (f *SectionFile) NumSections() int { return len(f.sections) }
+
+// VerifySections checks every section payload against its table CRC,
+// reading the full file once. Heap loaders call it unconditionally; mmap
+// loaders call it only when asked, because it faults in every page.
+func (f *SectionFile) VerifySections() error {
+	for i := range f.sections {
+		s := &f.sections[i]
+		raw := f.data[s.off : s.off+s.count*int64(kindSize(s.kind))]
+		if got := crc32.ChecksumIEEE(raw); got != s.crc {
+			return fmt.Errorf("binio: section %d checksum mismatch: table carries %#08x, content hashes to %#08x", i, s.crc, got)
+		}
+	}
+	return nil
+}
+
+func (f *SectionFile) section(i int, kind uint32) (*sectionMeta, []byte, error) {
+	if i < 0 || i >= len(f.sections) {
+		return nil, nil, fmt.Errorf("binio: section %d out of range (file has %d)", i, len(f.sections))
+	}
+	s := &f.sections[i]
+	if s.kind != kind {
+		return nil, nil, fmt.Errorf("binio: section %d holds element kind %d, want %d", i, s.kind, kind)
+	}
+	return s, f.data[s.off : s.off+s.count*int64(kindSize(kind))], nil
+}
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian — the precondition for pointing typed slices at the raw
+// file bytes.
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// aligned reports whether b's backing array is aligned for elements of
+// size esz.
+func aligned(b []byte, esz int) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%uintptr(esz) == 0
+}
+
+// I32 returns section i as []int32 — a zero-copy view when the host is
+// little-endian and the bytes are aligned, a decoded heap copy otherwise.
+func (f *SectionFile) I32(i int) ([]int32, error) {
+	s, raw, err := f.section(i, KindI32)
+	if err != nil {
+		return nil, err
+	}
+	if s.count == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian() && aligned(raw, 4) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), s.count), nil
+	}
+	out := make([]int32, s.count)
+	for j := range out {
+		out[j] = int32(binary.LittleEndian.Uint32(raw[j*4:]))
+	}
+	return out, nil
+}
+
+// I64 returns section i as []int64, zero-copy when possible.
+func (f *SectionFile) I64(i int) ([]int64, error) {
+	s, raw, err := f.section(i, KindI64)
+	if err != nil {
+		return nil, err
+	}
+	if s.count == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian() && aligned(raw, 8) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&raw[0])), s.count), nil
+	}
+	out := make([]int64, s.count)
+	for j := range out {
+		out[j] = int64(binary.LittleEndian.Uint64(raw[j*8:]))
+	}
+	return out, nil
+}
+
+// F64 returns section i as []float64, zero-copy when possible.
+func (f *SectionFile) F64(i int) ([]float64, error) {
+	s, raw, err := f.section(i, KindF64)
+	if err != nil {
+		return nil, err
+	}
+	if s.count == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian() && aligned(raw, 8) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), s.count), nil
+	}
+	out := make([]float64, s.count)
+	for j := range out {
+		out[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[j*8:]))
+	}
+	return out, nil
+}
+
+// HeaderReader is a bounds-checked cursor over a section file's header
+// payload.
+type HeaderReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// Err returns the first read error (a header shorter than its format
+// expects).
+func (h *HeaderReader) Err() error { return h.err }
+
+// I64 reads the next int64 of the header, or 0 after an overrun.
+func (h *HeaderReader) I64() int64 {
+	if h.err != nil {
+		return 0
+	}
+	if h.pos+8 > len(h.data) {
+		h.err = fmt.Errorf("binio: header truncated at byte %d of %d", h.pos, len(h.data))
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(h.data[h.pos:]))
+	h.pos += 8
+	return v
+}

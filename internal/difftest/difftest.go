@@ -24,8 +24,11 @@ package difftest
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"fannr/internal/ch"
 	"fannr/internal/core"
@@ -58,6 +61,12 @@ func NewEnv(nodes int, seed int64) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assembleEnv(g, labels, tr)
+}
+
+// assembleEnv builds the engine suite shared by NewEnv and NewEnvLoaded
+// from a graph and its (built or loaded) indexes.
+func assembleEnv(g *graph.Graph, labels *phl.Index, tr *gtree.Tree) (*Env, error) {
 	chIx, err := ch.Build(g, ch.Options{})
 	if err != nil {
 		return nil, err
@@ -86,6 +95,111 @@ func NewEnv(nodes int, seed int64) (*Env, error) {
 		env.Engines = append(env.Engines, e)
 	}
 	return env, nil
+}
+
+// NewEnvLoaded is NewEnv except the hub-label and G-tree indexes take a
+// round trip through the on-disk v4 format first: they are saved under
+// dir and reloaded through phl.Load / gtree.Load (zero-copy mmapped when
+// mmap is true) before the engine suite is assembled. Together with
+// NewEnv it powers the mmap-vs-heap differential gate, and under mmap it
+// doubles as the immutability audit: the index slabs live on read-only
+// pages, so any engine writing into them segfaults instead of passing.
+func NewEnvLoaded(nodes int, seed int64, dir string, mmap bool) (*Env, error) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: nodes, Seed: seed, Name: fmt.Sprintf("diff-%d", seed)})
+	if err != nil {
+		return nil, err
+	}
+	built, err := phl.Build(g, phl.Options{})
+	if err != nil {
+		return nil, err
+	}
+	labels, err := roundTrip(filepath.Join(dir, "diff.phl"), built.Save,
+		func(path string) (*phl.Index, error) { return phl.Load(path, phl.LoadOptions{Mmap: mmap}) })
+	if err != nil {
+		return nil, err
+	}
+	builtTree, err := gtree.Build(g, gtree.Options{MaxLeafSize: 64})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := roundTrip(filepath.Join(dir, "diff.gtree"), builtTree.Save,
+		func(path string) (*gtree.Tree, error) { return gtree.Load(path, g, gtree.LoadOptions{Mmap: mmap}) })
+	if err != nil {
+		return nil, err
+	}
+	if mmap && (!labels.Mapped() || !tr.Mapped()) {
+		return nil, fmt.Errorf("difftest: v4 round trip did not map (phl=%v gtree=%v)", labels.Mapped(), tr.Mapped())
+	}
+	return assembleEnv(g, labels, tr)
+}
+
+// roundTrip saves an index to path and loads it back.
+func roundTrip[T any](path string, save func(io.Writer) error, load func(string) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Create(path)
+	if err != nil {
+		return zero, err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return zero, err
+	}
+	if err := f.Close(); err != nil {
+		return zero, err
+	}
+	return load(path)
+}
+
+// RunCaseIdentical runs one case's GD, RList and aggregate-specific
+// algorithms through each engine of both environments and requires
+// bit-identical distances and equal answer points — the contract that a
+// mmap-loaded index is indistinguishable from its heap twin, down to
+// floating-point rounding. The environments must hold the same engine
+// suite over the same graph.
+func (env *Env) RunCaseIdentical(other *Env, c Case) error {
+	if len(env.Engines) != len(other.Engines) {
+		return fmt.Errorf("%v: engine suites differ: %d vs %d", c, len(env.Engines), len(other.Engines))
+	}
+	q := c.query()
+	type algo struct {
+		name string
+		fn   func(*graph.Graph, core.GPhi, core.Query) (core.Answer, error)
+	}
+	algos := []algo{{"GD", core.GD}, {"RList", core.RList}}
+	if q.Agg == core.Max {
+		algos = append(algos, algo{"ExactMax", core.ExactMax})
+	} else {
+		algos = append(algos, algo{"APXSum", core.APXSum})
+	}
+	for i, a := range env.Engines {
+		b := other.Engines[i]
+		if a.Name() != b.Name() {
+			return fmt.Errorf("%v: engine %d named %q vs %q", c, i, a.Name(), b.Name())
+		}
+		for _, al := range algos {
+			ansA, errA := al.fn(env.G, a, q)
+			ansB, errB := al.fn(other.G, b, q)
+			label := al.name + "/" + a.Name()
+			if (errA == nil) != (errB == nil) {
+				return fmt.Errorf("%v: %s: errors differ: %v vs %v", c, label, errA, errB)
+			}
+			if errA != nil {
+				if !errors.Is(errB, core.ErrNoResult) || !errors.Is(errA, core.ErrNoResult) {
+					if errA.Error() != errB.Error() {
+						return fmt.Errorf("%v: %s: errors differ: %v vs %v", c, label, errA, errB)
+					}
+				}
+				continue
+			}
+			if math.Float64bits(ansA.Dist) != math.Float64bits(ansB.Dist) {
+				return fmt.Errorf("%v: %s: d* %v vs %v (not bit-identical)", c, label, ansA.Dist, ansB.Dist)
+			}
+			if ansA.P != ansB.P {
+				return fmt.Errorf("%v: %s: answer p %d vs %d", c, label, ansA.P, ansB.P)
+			}
+		}
+	}
+	return nil
 }
 
 // Case is one differential test case: a full FANN_R instance plus the

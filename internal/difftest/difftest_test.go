@@ -45,6 +45,38 @@ func TestDifferentialVsBrute(t *testing.T) {
 	}
 }
 
+// TestDifferentialMmapVsHeap is the beyond-RAM loading gate: the same
+// engine suite is assembled twice, once over heap-loaded and once over
+// mmap-loaded (zero-copy, read-only pages) v4 index files, and the full
+// 320-case sweep must produce bit-identical answers from both. Because
+// the mmapped slabs are PROT_READ, this is also the immutability audit:
+// an engine writing into a loaded index would segfault here.
+func TestDifferentialMmapVsHeap(t *testing.T) {
+	casesPerEnv := 80 // 4 envs × 80 = 320 cases
+	if testing.Short() {
+		casesPerEnv = 20
+	}
+	for _, spec := range envSpecs {
+		t.Run(string(rune('A'+spec.seed-11)), func(t *testing.T) {
+			t.Parallel()
+			heapEnv, err := NewEnvLoaded(spec.nodes, spec.seed, t.TempDir(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mmapEnv, err := NewEnvLoaded(spec.nodes, spec.seed, t.TempDir(), true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < casesPerEnv; i++ {
+				c := GenCase(spec.seed*10_000+int64(i), heapEnv.G)
+				if err := heapEnv.RunCaseIdentical(mmapEnv, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialCachedWarmCold is the qcache acceptance gate: seeded
 // cases run cold (raw engine) and warm (cache-wrapped) over a
 // descending-φ sweep, twice, and every warm answer must match the cold

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+	"fannr/internal/phl"
+	"fannr/internal/workload"
+)
+
+// LoadReport is the time-to-first-query benchmark fannr-bench -load
+// emits (BENCH_PR7.json in the repository root is one checked-in run).
+// It measures how long a cold process takes to open a persisted index
+// and answer its first distance query, heap-deserialized vs zero-copy
+// mmapped, over the same v4 file in the same run. The headline number is
+// the per-index Speedup ratio: both series run seconds apart on the same
+// host, so machine-speed noise cancels out — absolute micros do not
+// transfer across runs on a shared 1-CPU host, the ratio does.
+type LoadReport struct {
+	Dataset string  `json:"dataset"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	Scale   float64 `json:"scale"`
+	// Rounds is how many open→query→close cycles each series averages
+	// over (the file stays page-cached throughout, for both series).
+	Rounds  int         `json:"rounds"`
+	Indexes []IndexLoad `json:"indexes"`
+}
+
+// IndexLoad is one index's heap-vs-mmap time-to-first-query comparison.
+type IndexLoad struct {
+	Index     string `json:"index"` // "phl" | "gtree"
+	FileBytes int64  `json:"file_bytes"`
+	// HeapTTFQMicros: open, fully deserialize (checksum + copy every
+	// section), answer one query. This is the pre-v4 startup cost.
+	HeapTTFQMicros int64 `json:"heap_ttfq_micros"`
+	// MmapTTFQMicros: open, map, parse the section table, answer one
+	// query — only the pages that query touches ever fault in.
+	MmapTTFQMicros int64 `json:"mmap_ttfq_micros"`
+	// Speedup = heap / mmap TTFQ, measured within this run.
+	Speedup float64 `json:"speedup"`
+	// MappedBytes is the mmap series' mapping size; HeapResidentBytes is
+	// what the mmap-loaded index still allocates on the heap (headers,
+	// rebuilt lookup tables) — the bytes that do NOT scale with the file.
+	MappedBytes       int64 `json:"mapped_bytes"`
+	HeapResidentBytes int64 `json:"heap_resident_bytes"`
+}
+
+// loadVariant abstracts one index kind for the TTFQ loop.
+type loadVariant struct {
+	index string
+	save  func(path string) error
+	// heap and mmap each open path, answer one query, release, and
+	// return (mappedBytes, heapResidentBytes) for the report.
+	heap func(path string) (int64, int64, error)
+	mmap func(path string) (int64, int64, error)
+}
+
+// RunLoadBench builds the configured dataset's indexes, persists them in
+// the current (v4) format, and measures time-to-first-query for the heap
+// and mmap load paths over the same files.
+func RunLoadBench(cfg Config) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	g, err := workload.LoadDataset(cfg.Dataset, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "fannr-loadbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ix, err := phl.Build(g, phl.Options{MaxEntries: cfg.PHLBudget})
+	if err != nil {
+		return nil, fmt.Errorf("exp: building hub labels: %w", err)
+	}
+	tr, err := gtree.Build(g, gtree.Options{MaxLeafSize: gtreeLeafFor(cfg.Dataset)})
+	if err != nil {
+		return nil, fmt.Errorf("exp: building G-tree: %w", err)
+	}
+	u, v := graph.NodeID(0), graph.NodeID(g.NumNodes()-1)
+	firstQuery := func(dist func(a, b graph.NodeID) float64) { _ = dist(u, v) }
+
+	phlLoad := func(opts phl.LoadOptions) func(string) (int64, int64, error) {
+		return func(path string) (int64, int64, error) {
+			loaded, err := phl.Load(path, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			firstQuery(loaded.Dist)
+			mapped, heap := loaded.MappedBytes(), loaded.MemoryBytes()
+			return mapped, heap, loaded.Close()
+		}
+	}
+	gtreeLoad := func(opts gtree.LoadOptions) func(string) (int64, int64, error) {
+		return func(path string) (int64, int64, error) {
+			loaded, err := gtree.Load(path, g, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			firstQuery(loaded.NewQuerier().Dist)
+			mapped, heap := loaded.MappedBytes(), loaded.Stats().MemoryBytes
+			return mapped, heap, loaded.Close()
+		}
+	}
+	saveTo := func(save func(f *os.File) error) func(string) error {
+		return func(path string) error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := save(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	variants := []loadVariant{
+		{
+			index: "phl",
+			save:  saveTo(func(f *os.File) error { return ix.Save(f) }),
+			heap:  phlLoad(phl.LoadOptions{Mmap: false}),
+			mmap:  phlLoad(phl.LoadOptions{Mmap: true}),
+		},
+		{
+			index: "gtree",
+			save:  saveTo(func(f *os.File) error { return tr.Save(f) }),
+			heap:  gtreeLoad(gtree.LoadOptions{Mmap: false}),
+			mmap:  gtreeLoad(gtree.LoadOptions{Mmap: true}),
+		},
+	}
+
+	const rounds = 7
+	report := &LoadReport{
+		Dataset: cfg.Dataset,
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		Scale:   cfg.Scale,
+		Rounds:  rounds,
+	}
+	for _, v := range variants {
+		path := filepath.Join(dir, v.index+".idx")
+		if err := v.save(path); err != nil {
+			return nil, fmt.Errorf("exp: loadbench saving %s: %w", v.index, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		// One untimed warmup per series settles the page cache and code
+		// paths, then rounds timed cycles; the median absorbs scheduler
+		// spikes on the 1-CPU bench host.
+		heapTTFQ, _, _, err := measureTTFQ(path, v.heap, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("exp: loadbench %s heap: %w", v.index, err)
+		}
+		mmapTTFQ, mapped, heapResident, err := measureTTFQ(path, v.mmap, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("exp: loadbench %s mmap: %w", v.index, err)
+		}
+		il := IndexLoad{
+			Index:             v.index,
+			FileBytes:         st.Size(),
+			HeapTTFQMicros:    heapTTFQ,
+			MmapTTFQMicros:    mmapTTFQ,
+			MappedBytes:       mapped,
+			HeapResidentBytes: heapResident,
+		}
+		if mmapTTFQ > 0 {
+			il.Speedup = float64(heapTTFQ) / float64(mmapTTFQ)
+		}
+		report.Indexes = append(report.Indexes, il)
+	}
+	return report, nil
+}
+
+// measureTTFQ times rounds open→first-query→close cycles of one load
+// path and returns the median micros plus the last cycle's byte gauges.
+func measureTTFQ(path string, open func(string) (int64, int64, error), rounds int) (int64, int64, int64, error) {
+	if _, _, err := open(path); err != nil { // warmup, untimed
+		return 0, 0, 0, err
+	}
+	durs := make([]time.Duration, 0, rounds)
+	var mapped, heapResident int64
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		m, h, err := open(path)
+		durs = append(durs, time.Since(start))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		mapped, heapResident = m, h
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs[len(durs)/2].Microseconds(), mapped, heapResident, nil
+}
+
+// GuardLoad checks a load report's same-run invariant: every index must
+// open at least minSpeedup× faster mmapped than heap-deserialized. Both
+// series come from the same run, so the ratio is immune to the between-
+// run machine-speed variance that makes absolute thresholds flaky. It
+// returns the violations found, empty on pass.
+func GuardLoad(report *LoadReport, minSpeedup float64) []string {
+	var violations []string
+	for _, il := range report.Indexes {
+		if il.Speedup < minSpeedup {
+			violations = append(violations,
+				fmt.Sprintf("%s: mmap TTFQ %dµs is only %.1f× faster than heap %dµs (want ≥%.0f×)",
+					il.Index, il.MmapTTFQMicros, il.Speedup, il.HeapTTFQMicros, minSpeedup))
+		}
+	}
+	return violations
+}

@@ -25,20 +25,30 @@ func FuzzRead(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte(magic))
+	f.Add([]byte(magicV3))
 	f.Add([]byte{})
-	corrupted := append([]byte(nil), valid...)
-	for i := 16; i < len(corrupted) && i < 64; i += 7 {
-		corrupted[i] ^= 0xff
+	for _, seed := range [][]byte{valid, writeV3T(f, tr)} {
+		corrupted := append([]byte(nil), seed...)
+		for i := 16; i < len(corrupted) && i < 128; i += 7 {
+			corrupted[i] ^= 0xff
+		}
+		f.Add(seed)
+		f.Add(corrupted)
 	}
-	f.Add(corrupted)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data), g)
 		if err != nil {
 			return
 		}
-		// Whatever was accepted must be internally usable.
+		// Whatever was accepted must be internally usable, including the
+		// batch path whose scratch tables are sized from slab contents.
 		q := tr.NewQuerier()
 		_ = q.Dist(0, graph.NodeID(g.NumNodes()-1))
+		out := make([]float64, 2)
+		q.DistBatch(0, []graph.NodeID{0, graph.NodeID(g.NumNodes() - 1)}, out)
 		_ = tr.Stats()
 	})
 }
+
+// writeV3T adapts writeV3 for fuzz seeding (testing.F is a testing.TB).
+func writeV3T(f *testing.F, tr *Tree) []byte { return writeV3(f, tr) }

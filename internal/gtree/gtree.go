@@ -26,6 +26,7 @@ import (
 	"sort"
 	"unsafe"
 
+	"fannr/internal/binio"
 	"fannr/internal/graph"
 	"fannr/internal/par"
 )
@@ -87,9 +88,46 @@ type Tree struct {
 	// verts, borders, X, borderX, ladjStart, ladjNode) lives in islab;
 	// the node fields are subslice views. Two contiguous allocations
 	// instead of thousands keep the GC out of the index and match the
-	// on-disk v3 layout — the prerequisite for mmap-backed loading.
+	// on-disk v4 layout byte for byte, which is what makes mmap-backed
+	// loading possible.
 	fslab []float64
 	islab []int32
+
+	// sf is non-nil for trees opened through Load: the slabs and vertex
+	// tables above are then views into the section file (zero-copy into a
+	// read-only mmap when sf.Mapped()). Nothing in the query path writes
+	// through them — mmap'd pages are PROT_READ, so a stray write would
+	// be a segfault, not corruption. Queriers write only their own
+	// scratch arenas.
+	sf *binio.SectionFile
+}
+
+// Close releases the backing file mapping for trees opened with Load.
+// The tree (and every Querier minted from it) must not be used after
+// Close. Heap-built trees return nil.
+func (t *Tree) Close() error {
+	if t.sf == nil {
+		return nil
+	}
+	sf := t.sf
+	t.sf = nil
+	t.nodes, t.leafOf, t.posInLeaf, t.leafSeq = nil, nil, nil, nil
+	t.fslab, t.islab = nil, nil
+	return sf.Close()
+}
+
+// Mapped reports whether the tree's slabs are zero-copy views into an
+// mmap'd file.
+func (t *Tree) Mapped() bool { return t.sf != nil && t.sf.Mapped() }
+
+// MappedBytes reports the bytes served from the file mapping (0 for
+// heap-resident trees). Stats().MemoryBytes counts only heap-resident
+// bytes, so the two never double-count.
+func (t *Tree) MappedBytes() int64 {
+	if t.sf == nil {
+		return 0
+	}
+	return t.sf.MappedBytes()
 }
 
 type node struct {
@@ -869,12 +907,16 @@ func (t *Tree) Stats() Stats {
 		s.MatrixCells += int64(len(n.mat))
 		xEntries += int64(len(n.X))
 	}
-	// Actual footprint: the two slabs plus node headers, the xIdx lookup
+	// Heap footprint: the two slabs plus node headers, the xIdx lookup
 	// maps (~16 bytes per entry including bucket overhead), and the three
-	// graph-sized vertex tables.
-	s.MemoryBytes = int64(len(t.fslab))*8 + int64(len(t.islab))*4 +
-		int64(len(t.nodes))*int64(unsafe.Sizeof(node{})) +
-		xEntries*16 +
-		int64(t.g.NumNodes())*12 // leafOf/posInLeaf/leafSeq
+	// graph-sized vertex tables. For an mmap-loaded tree the slabs and
+	// vertex tables live in the page cache (reported by MappedBytes), so
+	// only the node headers and xIdx maps — rebuilt on the heap at load —
+	// count here.
+	s.MemoryBytes = int64(len(t.nodes))*int64(unsafe.Sizeof(node{})) + xEntries*16
+	if !t.Mapped() {
+		s.MemoryBytes += int64(len(t.fslab))*8 + int64(len(t.islab))*4 +
+			int64(t.g.NumNodes())*12 // leafOf/posInLeaf/leafSeq
+	}
 	return s
 }

@@ -1,57 +1,76 @@
 package gtree
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+	"os"
 
 	"fannr/internal/binio"
 	"fannr/internal/graph"
 )
 
-// magic v3: all per-node arrays live in two contiguous slabs (int32 ids
-// and float64 matrices) preceded by a fixed-size metadata record per tree
-// node — the same layout the in-memory Tree uses after flatten(), so a
-// future mmap loader can point node views straight at the file. Streams
-// still end in a CRC32 footer (binio.Writer.Flush); v1/v2 files are
-// rejected by the tag so a loader never trusts an unverifiable or
-// re-interpreted index.
-const magic = "FANNRGT3\n"
+// magic v4: a binio section file — section table with per-section CRCs
+// followed by 64-byte-aligned raw sections (leafOf, posInLeaf, leafSeq,
+// per-node metadata, islab, fslab), the same layout the in-memory Tree
+// uses after flatten(). A loader can mmap the file read-only and point
+// every node's views at the page cache (Load); stream readers decode the
+// sections onto the heap (Read). Only the per-node xIdx lookup maps are
+// rebuilt on the heap at load.
+const magic = "FANNRGT4\n"
 
-// Save serializes the tree in fannr's little-endian binary format. The
-// graph itself is not embedded — reattach the same graph in Read.
+// magicV3 is the previous stream format (fixed metadata records + slabs
+// behind a whole-stream CRC). Read still accepts it so existing indexes
+// convert with `fannr-index -in old.gtree`; Save always writes v4.
+const magicV3 = "FANNRGT3\n"
+
+// nodeMetaFields is the per-node record width in the v4 metadata
+// section: parent, depth, lo, hi, then the nine view lengths in
+// flatten() pack order.
+const nodeMetaFields = 13
+
+// rebuildHint converts binio's version-skew error into an operator
+// message that names the fix. Other errors pass through unchanged.
+func rebuildHint(err error) error {
+	var ve *binio.FormatVersionError
+	if errors.As(err, &ve) {
+		return fmt.Errorf("%w — rebuild the index with fannr-index (or convert it with fannr-index -in)", ve)
+	}
+	return err
+}
+
+// Save serializes the tree in the v4 section format. The graph itself is
+// not embedded — reattach the same graph in Read or Load.
 func (t *Tree) Save(w io.Writer) error {
-	bw := binio.NewWriter(w)
-	bw.Magic(magic)
-	bw.I64(int64(t.g.NumNodes()))
-	bw.I32(int32(t.opt.Fanout))
-	bw.I32(int32(t.opt.MaxLeafSize))
-	bw.I32s(t.leafOf)
-	bw.I32s(t.posInLeaf)
-	bw.I32s(t.leafSeq)
-	bw.I64(int64(len(t.nodes)))
+	sw := binio.NewSectionWriter(magic)
+	sw.HeaderI64(int64(t.g.NumNodes()))
+	sw.HeaderI64(int64(t.opt.Fanout))
+	sw.HeaderI64(int64(t.opt.MaxLeafSize))
+	sw.HeaderI64(int64(len(t.nodes)))
+	sw.I32Section(t.leafOf)
+	sw.I32Section(t.posInLeaf)
+	sw.I32Section(t.leafSeq)
+	meta := make([]int64, 0, len(t.nodes)*nodeMetaFields)
 	for i := range t.nodes {
 		n := &t.nodes[i]
-		bw.I32(n.parent)
-		bw.I32(n.depth)
-		bw.I32(n.lo)
-		bw.I32(n.hi)
-		bw.I32(int32(len(n.children)))
-		bw.I32(int32(len(n.verts)))
-		bw.I32(int32(len(n.borders)))
+		x := len(n.X)
 		if n.isLeaf() {
-			bw.I32(0) // leaf X aliases borders; not slab-resident
-		} else {
-			bw.I32(int32(len(n.X)))
+			x = 0 // leaf X aliases borders; not slab-resident
 		}
-		bw.I32(int32(len(n.borderX)))
-		bw.I32(int32(len(n.ladjStart)))
-		bw.I32(int32(len(n.ladjNode)))
-		bw.I64(int64(len(n.mat)))
-		bw.I64(int64(len(n.ladjW)))
+		meta = append(meta,
+			int64(n.parent), int64(n.depth), int64(n.lo), int64(n.hi),
+			int64(len(n.children)), int64(len(n.verts)), int64(len(n.borders)),
+			int64(x), int64(len(n.borderX)),
+			int64(len(n.ladjStart)), int64(len(n.ladjNode)),
+			int64(len(n.mat)), int64(len(n.ladjW)))
 	}
-	bw.I32s(t.islab)
-	bw.F64s(t.fslab)
-	return bw.Flush()
+	sw.I64Section(meta)
+	sw.I32Section(t.islab)
+	sw.F64Section(t.fslab)
+	_, err := sw.WriteTo(w)
+	return err
 }
 
 // nodeLens mirrors the per-node metadata record: view lengths into the
@@ -61,11 +80,189 @@ type nodeLens struct {
 	mat, ladjW                                                int64
 }
 
-// Read deserializes a tree written by Save and reattaches it to g,
-// which must be the graph the tree was built on.
+// Read deserializes a tree from a stream and reattaches it to g, which
+// must be the graph the tree was built on. v4 section files and legacy
+// v3 streams both load (onto the heap — use Load for zero-copy mmap of
+// v4 files); older versions fail with a rebuild hint.
 func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magic))
+	if err != nil {
+		return nil, fmt.Errorf("gtree: reading magic: %w", err)
+	}
+	if string(head) == magicV3 {
+		return readV3(br, g)
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("gtree: reading stream: %w", err)
+	}
+	sf, err := binio.ParseSections(data, magic)
+	if err != nil {
+		return nil, fmt.Errorf("gtree: %w", rebuildHint(err))
+	}
+	if err := sf.VerifySections(); err != nil {
+		return nil, fmt.Errorf("gtree: verifying index: %w", err)
+	}
+	return fromSections(sf, g, true)
+}
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// Mmap selects zero-copy mapping for v4 files. When false the file is
+	// read onto the heap. v3 files always decode onto the heap.
+	Mmap bool
+	// Verify forces the per-section CRC pass even under mmap (reading the
+	// whole file once). Heap loads always verify.
+	Verify bool
+}
+
+// Load opens an index file and reattaches it to g: v4 files map (or
+// read) via the section loader, v3 files fall back to the stream reader
+// for conversion. With opts.Mmap the returned Tree's slabs are zero-copy
+// views into a read-only mapping — see Mapped/Close.
+func Load(path string, g *graph.Graph, opts LoadOptions) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gtree: %w", err)
+	}
+	var head [len(magic)]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("gtree: reading magic of %s: %w", path, err)
+	}
+	if string(head[:]) == magicV3 {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("gtree: %w", err)
+		}
+		t, err := Read(f, g)
+		f.Close()
+		return t, err
+	}
+	f.Close()
+	sf, err := binio.OpenSectionFile(path, magic, opts.Mmap)
+	if err != nil {
+		return nil, fmt.Errorf("gtree: %w", rebuildHint(err))
+	}
+	audit := !sf.Mapped() || opts.Verify
+	if audit {
+		if err := sf.VerifySections(); err != nil {
+			sf.Close()
+			return nil, fmt.Errorf("gtree: verifying index: %w", err)
+		}
+	}
+	t, err := fromSections(sf, g, audit)
+	if err != nil {
+		sf.Close()
+		return nil, err
+	}
+	t.sf = sf
+	return t, nil
+}
+
+// fromSections assembles and validates a Tree over a parsed v4 file.
+// Header, metadata and shape checks always run; the O(slab) content
+// audit (validate) runs when audit is set — heap loads and mmap with
+// Verify — since it would fault in every page of a mapped beyond-RAM
+// index. See Load for the trust model.
+func fromSections(sf *binio.SectionFile, g *graph.Graph, audit bool) (*Tree, error) {
+	h := sf.Header()
+	nNodes := int(h.I64())
+	fanout := int(h.I64())
+	maxLeaf := int(h.I64())
+	count := int(h.I64())
+	if err := h.Err(); err != nil {
+		return nil, fmt.Errorf("gtree: reading header: %w", err)
+	}
+	if nNodes != g.NumNodes() {
+		return nil, fmt.Errorf("gtree: index built on %d nodes, graph has %d", nNodes, g.NumNodes())
+	}
+	if count <= 0 || count > 2*nNodes+1 {
+		return nil, fmt.Errorf("gtree: implausible tree-node count %d for %d vertices", count, nNodes)
+	}
+	if got := sf.NumSections(); got != 6 {
+		return nil, fmt.Errorf("gtree: file has %d sections, want 6", got)
+	}
+	t := &Tree{g: g}
+	t.opt.Fanout = fanout
+	t.opt.MaxLeafSize = maxLeaf
+	var err error
+	if t.leafOf, err = sf.I32(0); err != nil {
+		return nil, fmt.Errorf("gtree: leafOf section: %w", err)
+	}
+	if t.posInLeaf, err = sf.I32(1); err != nil {
+		return nil, fmt.Errorf("gtree: posInLeaf section: %w", err)
+	}
+	if t.leafSeq, err = sf.I32(2); err != nil {
+		return nil, fmt.Errorf("gtree: leafSeq section: %w", err)
+	}
+	if len(t.leafOf) != nNodes || len(t.posInLeaf) != nNodes || len(t.leafSeq) != nNodes {
+		return nil, fmt.Errorf("gtree: vertex tables truncated")
+	}
+	meta, err := sf.I64(3)
+	if err != nil {
+		return nil, fmt.Errorf("gtree: node metadata section: %w", err)
+	}
+	if len(meta) != count*nodeMetaFields {
+		return nil, fmt.Errorf("gtree: metadata section has %d values, %d tree nodes need %d",
+			len(meta), count, count*nodeMetaFields)
+	}
+	if t.islab, err = sf.I32(4); err != nil {
+		return nil, fmt.Errorf("gtree: id slab section: %w", err)
+	}
+	if t.fslab, err = sf.F64(5); err != nil {
+		return nil, fmt.Errorf("gtree: matrix slab section: %w", err)
+	}
+	t.nodes = make([]node, count)
+	lens := make([]nodeLens, count)
+	var wantI, wantF int64
+	field := func(i, j int) int64 { return meta[i*nodeMetaFields+j] }
+	i32of := func(i, j int) (int32, error) {
+		v := field(i, j)
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return 0, fmt.Errorf("gtree: tree node %d metadata field %d holds %d, outside int32", i, j, v)
+		}
+		return int32(v), nil
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		l := &lens[i]
+		fields := []*int32{&n.parent, &n.depth, &n.lo, &n.hi,
+			&l.children, &l.verts, &l.borders, &l.x, &l.borderX, &l.ladjStart, &l.ladjNode}
+		for j, dst := range fields {
+			v, err := i32of(i, j)
+			if err != nil {
+				return nil, err
+			}
+			*dst = v
+		}
+		l.mat = field(i, 11)
+		l.ladjW = field(i, 12)
+		if l.children < 0 || l.verts < 0 || l.borders < 0 || l.x < 0 ||
+			l.borderX < 0 || l.ladjStart < 0 || l.ladjNode < 0 || l.mat < 0 || l.ladjW < 0 {
+			return nil, fmt.Errorf("gtree: tree node %d has negative array length", i)
+		}
+		if l.children == 0 && l.x != 0 {
+			return nil, fmt.Errorf("gtree: leaf node %d claims a separate X set", i)
+		}
+		wantI += int64(l.children) + int64(l.verts) + int64(l.borders) +
+			int64(l.x) + int64(l.borderX) + int64(l.ladjStart) + int64(l.ladjNode)
+		wantF += l.mat + l.ladjW
+		if wantI > binio.MaxSliceLen || wantF > binio.MaxSliceLen {
+			return nil, fmt.Errorf("gtree: implausible slab size (%d ids, %d cells)", wantI, wantF)
+		}
+	}
+	if err := t.assemble(lens, wantI, wantF, audit); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// readV3 decodes the legacy v3 stream format.
+func readV3(r io.Reader, g *graph.Graph) (*Tree, error) {
 	br := binio.NewReader(r)
-	br.Magic(magic)
+	br.Magic(magicV3)
 	nNodes := int(br.I64())
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("gtree: reading header: %w", err)
@@ -128,24 +325,37 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 			return nil, fmt.Errorf("gtree: implausible slab size (%d ids, %d cells)", wantI, wantF)
 		}
 	}
-	islab := br.I32s()
-	fslab := br.F64s()
+	t.islab = br.I32s()
+	t.fslab = br.F64s()
 	br.Footer()
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("gtree: verifying index: %w", err)
 	}
-	if int64(len(islab)) != wantI || int64(len(fslab)) != wantF {
-		return nil, fmt.Errorf("gtree: slabs hold %d/%d entries, metadata expects %d/%d",
-			len(islab), len(fslab), wantI, wantF)
+	if err := t.assemble(lens, wantI, wantF, true); err != nil {
+		return nil, err
 	}
+	return t, nil
+}
+
+// assemble carves every node's views out of the two slabs (in flatten()
+// pack order), rebuilds the xIdx maps, and — when audit is set — runs
+// the full content-range audit. Both the v3 stream reader and the v4
+// section loader end here, so every heap load enforces the same
+// invariants; fast mapped loads skip only the validate pass.
+func (t *Tree) assemble(lens []nodeLens, wantI, wantF int64, audit bool) error {
+	if int64(len(t.islab)) != wantI || int64(len(t.fslab)) != wantF {
+		return fmt.Errorf("gtree: slabs hold %d/%d entries, metadata expects %d/%d",
+			len(t.islab), len(t.fslab), wantI, wantF)
+	}
+	nNodes := t.g.NumNodes()
 	var oi, of int64
 	carveI := func(n int32) []int32 {
-		s := islab[oi : oi+int64(n) : oi+int64(n)]
+		s := t.islab[oi : oi+int64(n) : oi+int64(n)]
 		oi += int64(n)
 		return s
 	}
 	carveF := func(n int64) []float64 {
-		s := fslab[of : of+n : of+n]
+		s := t.fslab[of : of+n : of+n]
 		of += n
 		return s
 	}
@@ -169,7 +379,7 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 		n.xIdx = make(map[graph.NodeID]int32, len(n.X))
 		for j, v := range n.X {
 			if v < 0 || int(v) >= nNodes {
-				return nil, fmt.Errorf("gtree: tree node %d references vertex %d outside graph", i, v)
+				return fmt.Errorf("gtree: tree node %d references vertex %d outside graph", i, v)
 			}
 			n.xIdx[v] = int32(j)
 		}
@@ -178,10 +388,120 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 			wantMat = len(n.borders) * len(n.verts)
 		}
 		if len(n.mat) != wantMat {
-			return nil, fmt.Errorf("gtree: tree node %d matrix has %d cells, want %d", i, len(n.mat), wantMat)
+			return fmt.Errorf("gtree: tree node %d matrix has %d cells, want %d", i, len(n.mat), wantMat)
 		}
 	}
-	t.islab = islab
-	t.fslab = fslab
-	return t, nil
+	if !audit {
+		return nil
+	}
+	return t.validate()
+}
+
+// validate is the content-range audit over everything the query path
+// indexes with: a corrupted-but-CRC-valid or hand-forged file must fail
+// here with a descriptive error, not panic inside a query. Checks cover
+// tree topology (parents, children), the vertex tables, border/X cross
+// references, and each leaf's CSR adjacency.
+func (t *Tree) validate() error {
+	count := int32(len(t.nodes))
+	nNodes := int32(t.g.NumNodes())
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		ni := int32(i)
+		if i == 0 {
+			if n.parent != -1 {
+				return fmt.Errorf("gtree: root claims parent %d", n.parent)
+			}
+		} else if n.parent < 0 || n.parent >= count {
+			return fmt.Errorf("gtree: tree node %d has parent %d outside [0,%d)", i, n.parent, count)
+		} else if n.parent == ni {
+			return fmt.Errorf("gtree: tree node %d is its own parent", i)
+		} else if t.nodes[n.parent].depth != n.depth-1 {
+			return fmt.Errorf("gtree: tree node %d at depth %d has parent at depth %d",
+				i, n.depth, t.nodes[n.parent].depth)
+		}
+		if n.lo < 0 || n.hi < n.lo || n.hi > nNodes {
+			return fmt.Errorf("gtree: tree node %d covers leaf sequence [%d,%d) outside [0,%d]",
+				i, n.lo, n.hi, nNodes)
+		}
+		for _, c := range n.children {
+			if c <= ni || c >= count {
+				// Children always follow their parent in build order; demanding
+				// c > i also rules out cycles without a separate traversal.
+				return fmt.Errorf("gtree: tree node %d lists child %d outside (%d,%d)", i, c, i, count)
+			}
+			if t.nodes[c].parent != ni {
+				return fmt.Errorf("gtree: tree node %d lists child %d whose parent is %d", i, c, t.nodes[c].parent)
+			}
+		}
+		for _, v := range n.verts {
+			if v < 0 || v >= nNodes {
+				return fmt.Errorf("gtree: tree node %d vertex %d outside graph", i, v)
+			}
+		}
+		for _, b := range n.borders {
+			if b < 0 || b >= nNodes {
+				return fmt.Errorf("gtree: tree node %d border %d outside graph", i, b)
+			}
+		}
+		for _, bx := range n.borderX {
+			if bx < 0 || int(bx) >= len(n.X) {
+				return fmt.Errorf("gtree: tree node %d borderX entry %d outside its %d-entry X set", i, bx, len(n.X))
+			}
+		}
+		if n.isLeaf() {
+			// CSR audit: ladjStart must be a monotone prefix-sum table over
+			// ladjNode/ladjW, and every adjacency target a local vertex index.
+			nv := len(n.verts)
+			if len(n.ladjStart) != nv+1 {
+				return fmt.Errorf("gtree: leaf %d CSR has %d row offsets for %d vertices", i, len(n.ladjStart), nv)
+			}
+			if nv > 0 {
+				if n.ladjStart[0] != 0 {
+					return fmt.Errorf("gtree: leaf %d CSR starts at %d, want 0", i, n.ladjStart[0])
+				}
+				for p := 0; p < nv; p++ {
+					if n.ladjStart[p+1] < n.ladjStart[p] {
+						return fmt.Errorf("gtree: leaf %d CSR offsets decrease at row %d (%d -> %d)",
+							i, p, n.ladjStart[p], n.ladjStart[p+1])
+					}
+				}
+				if int(n.ladjStart[nv]) != len(n.ladjNode) {
+					return fmt.Errorf("gtree: leaf %d CSR claims %d edges, slab holds %d",
+						i, n.ladjStart[nv], len(n.ladjNode))
+				}
+			}
+			if len(n.ladjW) != len(n.ladjNode) {
+				return fmt.Errorf("gtree: leaf %d CSR has %d weights for %d targets", i, len(n.ladjW), len(n.ladjNode))
+			}
+			for e, tgt := range n.ladjNode {
+				if tgt < 0 || int(tgt) >= nv {
+					return fmt.Errorf("gtree: leaf %d CSR edge %d targets local vertex %d outside [0,%d)", i, e, tgt, nv)
+				}
+			}
+		}
+	}
+	// Vertex tables: every graph vertex must map to a real leaf, a valid
+	// position inside it, and a leaf-sequence number inside that leaf's
+	// interval — the O(1) membership test contains() trusts all three.
+	for v := int32(0); v < nNodes; v++ {
+		lf := t.leafOf[v]
+		if lf < 0 || lf >= count || !t.nodes[lf].isLeaf() {
+			return fmt.Errorf("gtree: vertex %d maps to tree node %d, which is not a leaf", v, lf)
+		}
+		leaf := &t.nodes[lf]
+		pos := t.posInLeaf[v]
+		if pos < 0 || int(pos) >= len(leaf.verts) {
+			return fmt.Errorf("gtree: vertex %d claims position %d in a %d-vertex leaf", v, pos, len(leaf.verts))
+		}
+		if leaf.verts[pos] != v {
+			return fmt.Errorf("gtree: vertex %d claims position %d of leaf %d, which holds vertex %d",
+				v, pos, lf, leaf.verts[pos])
+		}
+		if s := t.leafSeq[v]; s < leaf.lo || s >= leaf.hi {
+			return fmt.Errorf("gtree: vertex %d has leaf sequence %d outside its leaf's [%d,%d)",
+				v, s, leaf.lo, leaf.hi)
+		}
+	}
+	return nil
 }

@@ -7,9 +7,11 @@ import (
 
 // FuzzRead hardens the index deserializer: arbitrary bytes must never
 // panic or allocate absurd buffers, and accepted inputs must produce an
-// index whose queries do not crash.
+// index whose queries — including the Batcher scatter path, which
+// indexes rank-sized tables by label contents — do not crash.
 func FuzzRead(f *testing.F) {
-	// Seed with a real serialized index and some corruptions of it.
+	// Seed with real serialized indexes (v4 section file and legacy v3
+	// stream) and some corruptions of each.
 	g := randomGraph(f, 40, 1)
 	ix, err := Build(g, Options{})
 	if err != nil {
@@ -23,12 +25,16 @@ func FuzzRead(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte(magic))
+	f.Add([]byte(magicV3))
 	f.Add([]byte{})
-	corrupted := append([]byte(nil), valid...)
-	for i := 16; i < len(corrupted) && i < 64; i += 7 {
-		corrupted[i] ^= 0xff
+	for _, seed := range [][]byte{valid, writeV3T(f, ix)} {
+		corrupted := append([]byte(nil), seed...)
+		for i := 16; i < len(corrupted) && i < 128; i += 7 {
+			corrupted[i] ^= 0xff
+		}
+		f.Add(seed)
+		f.Add(corrupted)
 	}
-	f.Add(corrupted)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ix, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -41,5 +47,13 @@ func FuzzRead(f *testing.F) {
 		}
 		_ = ix.Dist(0, int32(n-1))
 		_ = ix.Entries()
+		// The scatter table is the consumer the content audits protect: an
+		// accepted index must batch without an index-out-of-range panic.
+		b := ix.NewBatcher()
+		out := make([]float64, 2)
+		b.DistBatch(0, []int32{0, int32(n - 1)}, out)
 	})
 }
+
+// writeV3T adapts writeV3 for fuzz seeding (testing.F is a testing.TB).
+func writeV3T(f *testing.F, ix *Index) []byte { return writeV3(f, ix) }

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"unsafe"
 
+	"fannr/internal/binio"
 	"fannr/internal/graph"
 	"fannr/internal/pqueue"
 )
@@ -50,6 +51,39 @@ type Index struct {
 	hubSlab  []int32
 	distSlab []float64
 	n        int
+	// sf is non-nil for indexes opened through Load: the four arrays
+	// above are then views into the section file (zero-copy into a
+	// read-only mmap when sf.Mapped()). Nothing in the query path writes
+	// through them — mmap'd pages are PROT_READ, so a stray write would
+	// be a segfault, not corruption.
+	sf *binio.SectionFile
+}
+
+// Close releases the backing file mapping for indexes opened with Load.
+// The index (and every Batcher minted from it) must not be used after
+// Close. Heap-built indexes return nil.
+func (ix *Index) Close() error {
+	if ix.sf == nil {
+		return nil
+	}
+	sf := ix.sf
+	ix.sf = nil
+	ix.rank, ix.off, ix.hubSlab, ix.distSlab = nil, nil, nil, nil
+	return sf.Close()
+}
+
+// Mapped reports whether the index's slabs are zero-copy views into an
+// mmap'd file.
+func (ix *Index) Mapped() bool { return ix.sf != nil && ix.sf.Mapped() }
+
+// MappedBytes reports the bytes served from the file mapping (0 for
+// heap-resident indexes). MemoryBytes counts only heap-resident bytes,
+// so the two never double-count.
+func (ix *Index) MappedBytes() int64 {
+	if ix.sf == nil {
+		return 0
+	}
+	return ix.sf.MappedBytes()
 }
 
 // label returns node v's parallel hub/distance arrays as views into the
@@ -184,9 +218,14 @@ func (ix *Index) Entries() int64 {
 	return ix.off[ix.n]
 }
 
-// MemoryBytes reports the actual resident footprint of the index: the
-// rank and offset tables, both label slabs, and the struct header itself.
+// MemoryBytes reports the heap-resident footprint of the index: the rank
+// and offset tables, both label slabs, and the struct header itself. For
+// an mmap-loaded index the arrays live in the page cache, not the heap,
+// and are reported by MappedBytes instead.
 func (ix *Index) MemoryBytes() int64 {
+	if ix.Mapped() {
+		return int64(unsafe.Sizeof(*ix))
+	}
 	return int64(unsafe.Sizeof(*ix)) +
 		int64(len(ix.rank))*4 +
 		int64(len(ix.off))*8 +

@@ -235,10 +235,12 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		reg.GaugeFunc(mCacheBytes, "Approximate bytes held by live cache entries.",
 			func() float64 { return float64(qc.Metrics().Bytes) })
 	}
-	for name, bytes := range s.indexBytes {
-		b := bytes
-		reg.GaugeFunc(mIndexBytes, "Resident bytes of a preprocessing index.",
-			func() float64 { return float64(b) }, obs.L("index", name))
+	for name, sz := range s.indexSizes {
+		sz := sz
+		reg.GaugeFunc(mIndexBytes, "Bytes of a preprocessing index by backing memory (heap vs mmap).",
+			func() float64 { return float64(sz.heap) }, obs.L("index", name), obs.L("mem", "heap"))
+		reg.GaugeFunc(mIndexBytes, "Bytes of a preprocessing index by backing memory (heap vs mmap).",
+			func() float64 { return float64(sz.mapped) }, obs.L("index", name), obs.L("mem", "mapped"))
 	}
 	if s.flight != nil {
 		m.coalesced = reg.Counter(mCoalesced,

@@ -165,15 +165,24 @@ type Server struct {
 	qc      *qcache.Cache
 	flight  *qcache.Flight
 	batcher *qcache.Batcher
-	// indexBytes records the resident size of each preprocessing index
-	// (hub labels, G-tree, ...) for the fannr_index_bytes gauge and /meta.
-	// Written only before freeze (New and RegisterIndexBytes).
-	indexBytes map[string]int64
+	// indexSizes records the size of each preprocessing index for the
+	// fannr_index_bytes gauge and /meta, split into heap-resident bytes
+	// and mmap-backed bytes (zero for heap-loaded or built indexes) so
+	// the two are never double-counted. Written only before freeze (New,
+	// RegisterIndex, RegisterIndexBytes).
+	indexSizes map[string]indexSize
 }
+
+// indexSize splits an index's footprint by where the bytes live.
+type indexSize struct{ heap, mapped int64 }
 
 // memorySized is implemented by indexes that report their resident size
 // (phl.Index, gtree.Tree via Stats, ...).
 type memorySized interface{ MemoryBytes() int64 }
+
+// mappedSized is additionally implemented by indexes that may be
+// mmap-backed (phl.Index); MappedBytes is 0 for heap-loaded instances.
+type mappedSized interface{ MappedBytes() int64 }
 
 // New builds a server over g.
 func New(g *graph.Graph, opts Options) (*Server, error) {
@@ -192,10 +201,14 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 		reg:              opts.Metrics,
 		logger:           opts.Logger,
 		pprof:            opts.Pprof,
-		indexBytes:       map[string]int64{},
+		indexSizes:       map[string]indexSize{},
 	}
 	if sized, ok := opts.PHL.(memorySized); ok {
-		s.indexBytes["phl"] = sized.MemoryBytes()
+		sz := indexSize{heap: sized.MemoryBytes()}
+		if mm, ok := opts.PHL.(mappedSized); ok {
+			sz.mapped = mm.MappedBytes()
+		}
+		s.indexSizes["phl"] = sz
 	}
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
@@ -314,21 +327,30 @@ func (s *Server) AddEngine(name string, factory core.EngineFactory) error {
 	return nil
 }
 
-// RegisterIndexBytes records the resident size of a named preprocessing
-// index (e.g. "gtree" for a G-tree registered through AddEngine) so it
-// appears in the fannr_index_bytes gauge and /meta. Like AddEngine it is
-// rejected once Handler has frozen the server.
-func (s *Server) RegisterIndexBytes(name string, bytes int64) error {
+// RegisterIndex records the size of a named preprocessing index (e.g.
+// "gtree" for a G-tree registered through AddEngine) so it appears in
+// the fannr_index_bytes gauge and /meta. heapBytes is the heap-resident
+// footprint; mappedBytes is the mmap-backed footprint (0 unless the
+// index was zero-copy loaded). Like AddEngine it is rejected once
+// Handler has frozen the server.
+func (s *Server) RegisterIndex(name string, heapBytes, mappedBytes int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.frozen {
-		return fmt.Errorf("server: RegisterIndexBytes(%q) after Handler — configuration is frozen once serving starts", name)
+		return fmt.Errorf("server: RegisterIndex(%q) after Handler — configuration is frozen once serving starts", name)
 	}
 	if name == "" {
-		return errors.New("server: RegisterIndexBytes needs a name")
+		return errors.New("server: RegisterIndex needs a name")
 	}
-	s.indexBytes[name] = bytes
+	s.indexSizes[name] = indexSize{heap: heapBytes, mapped: mappedBytes}
 	return nil
+}
+
+// RegisterIndexBytes records a purely heap-resident index size. It is
+// the pre-mmap spelling of RegisterIndex(name, bytes, 0), kept for
+// callers that never map.
+func (s *Server) RegisterIndexBytes(name string, bytes int64) error {
+	return s.RegisterIndex(name, bytes, 0)
 }
 
 // Engines lists the registered engine names, sorted. Callers wiring a
@@ -589,10 +611,13 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 		cache["hit_rate"] = cacheHitRate(cm)
 	}
 	// Index sizes are read back from the gauge like everything else so
-	// /meta and /metrics cannot disagree.
-	indexes := make(map[string]int64, len(s.indexBytes))
-	for name := range s.indexBytes {
-		indexes[name] = val(mIndexBytes, obs.L("index", name))
+	// /meta and /metrics cannot disagree. Each index reports heap and
+	// mmap-backed bytes separately (they never overlap) plus their sum.
+	indexes := make(map[string]map[string]int64, len(s.indexSizes))
+	for name := range s.indexSizes {
+		heap := val(mIndexBytes, obs.L("index", name), obs.L("mem", "heap"))
+		mapped := val(mIndexBytes, obs.L("index", name), obs.L("mem", "mapped"))
+		indexes[name] = map[string]int64{"heap": heap, "mapped": mapped, "total": heap + mapped}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": s.g.Name(),
