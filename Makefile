@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke chaos bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard bench-load
+.PHONY: verify build test vet race race-full fuzz-smoke chaos chaos-load bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard bench-load
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -25,7 +25,7 @@ race:
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
 		./internal/resil/... ./internal/gtree/... ./internal/ch/... \
 		./internal/par/... ./internal/workload/... ./internal/difftest/... \
-		./internal/obs/... ./internal/qcache/... \
+		./internal/obs/... ./internal/qcache/... ./internal/lifecycle/... \
 		./internal/phl/... ./internal/sp/... ./internal/rtree/...
 
 ## Race detector over everything, full-size tests (slow).
@@ -51,6 +51,16 @@ chaos:
 	$(GO) test -race -v ./internal/resil/
 	$(GO) test -race -v -run 'Overload|Drain|Chaos|Ladder|Saturat|Bounded|Probe|Admission|FactoryPanic|Metrics' \
 		./internal/server/ ./internal/core/
+
+## Index-lifecycle chaos: holder swap/quarantine semantics, SIGBUS
+## containment on real truncated mappings, load-path corrupters, and the
+## end-to-end acceptance pair — truncate-under-map quarantine/recovery
+## and the 25-swap reload storm under query load — with the race
+## detector on.
+chaos-load:
+	$(GO) test -race -v ./internal/lifecycle/
+	$(GO) test -race -v -run 'Retry|FileChaos|TransientErrors|ChaosLatencyCancel' ./internal/resil/
+	$(GO) test -race -v -run 'IndexFault|ReloadFailure|SwapStorm|Reload' ./internal/server/
 
 verify: build test vet race
 

@@ -15,6 +15,7 @@
 //	POST /fann     {"p":[...],"q":[...],"phi":0.5,"agg":"max","algo":"ier",
 //	               "engine":"IER-PHL","k":1}
 //	POST /dist     {"u":1,"v":2}
+//	POST /admin/reload  hot-swap every file-backed index (see below)
 //
 // With -pprof, net/http/pprof is mounted under /debug/pprof/. With -log,
 // every /fann request emits one structured JSON log line to stderr
@@ -41,6 +42,14 @@
 // independent of index size; pre-v4 files fall back to a heap read
 // (-mmap on makes that fallback a startup error, -mmap off disables
 // mapping entirely).
+// File-backed indexes are live: SIGHUP or POST /admin/reload atomically
+// swaps in a freshly loaded generation — in-flight requests finish on
+// the generation they pinned, a failed load (half-written file, torn
+// rebuild) retries with backoff and never evicts the serving index.
+// Memory faults on a mapped index (file truncated or rotted under the
+// map) cost one request (503 "index_fault"), quarantine the index
+// (served via the -fallback ladder, stamped "degraded"), and show on
+// /readyz until a reload restores it.
 // Errors carry a stable JSON shape {"error":..., "code":...}; see
 // internal/server for the taxonomy. On SIGINT/SIGTERM the server flips
 // /healthz and /readyz to 503, stops accepting connections, and drains
@@ -61,6 +70,7 @@ import (
 	"time"
 
 	"fannr"
+	"fannr/internal/binio"
 	"fannr/internal/core"
 	"fannr/internal/server"
 )
@@ -159,6 +169,78 @@ func mmapOptions(mode string) (opts fannr.LoadOptions, require bool, err error) 
 	}
 }
 
+// addReloadablePHL registers the PHL index file as a hot-swappable
+// source powering the "PHL" and "IER-PHL" engines. Each reload maps a
+// fresh generation; the serving one is never evicted by a failed load.
+func addReloadablePHL(srv *server.Server, g *fannr.Graph, path string, loadOpts fannr.LoadOptions, requireMmap bool) error {
+	load := func() (server.ReloadableIndex, error) {
+		ix, err := fannr.LoadPHL(path, loadOpts)
+		if err != nil {
+			return nil, fmt.Errorf("loading PHL index %s: %w", path, err)
+		}
+		if requireMmap && !ix.Mapped() {
+			ix.Close()
+			return nil, fmt.Errorf("loading PHL index %s: -mmap=on but the file cannot be zero-copy mapped (convert it to v4 with fannr-index -in)", path)
+		}
+		return ix, nil
+	}
+	return srv.AddReloadable(server.IndexSource{
+		Name: "phl",
+		Path: path,
+		Load: load,
+		Engines: map[string]func(server.ReloadableIndex) core.GPhi{
+			"PHL": func(ix server.ReloadableIndex) core.GPhi {
+				return core.NewOracleGPhi("PHL", ix.(*fannr.PHLIndex))
+			},
+			"IER-PHL": func(ix server.ReloadableIndex) core.GPhi {
+				gp, err := core.NewIERGPhi("IER-PHL", g, ix.(*fannr.PHLIndex))
+				if err != nil {
+					panic(err) // verified at registration; cannot fail on a loaded index
+				}
+				return gp
+			},
+		},
+	})
+}
+
+// addReloadableGTree registers the G-tree index file as a hot-swappable
+// source powering the "GTree" engine.
+func addReloadableGTree(srv *server.Server, g *fannr.Graph, path string, loadOpts fannr.LoadOptions, requireMmap bool) error {
+	load := func() (server.ReloadableIndex, error) {
+		tr, err := fannr.LoadGTree(path, g, loadOpts)
+		if err != nil {
+			return nil, fmt.Errorf("loading GTree index %s: %w", path, err)
+		}
+		if requireMmap && !tr.Mapped() {
+			tr.Close()
+			return nil, fmt.Errorf("loading GTree index %s: -mmap=on but the file cannot be zero-copy mapped (convert it to v4 with fannr-index -in)", path)
+		}
+		return tr, nil
+	}
+	return srv.AddReloadable(server.IndexSource{
+		Name: "gtree",
+		Path: path,
+		Load: load,
+		Engines: map[string]func(server.ReloadableIndex) core.GPhi{
+			"GTree": func(ix server.ReloadableIndex) core.GPhi {
+				return core.NewGTreeGPhi(ix.(*fannr.GTree))
+			},
+		},
+	})
+}
+
+// logProvenance prints what was actually loaded: path, size, format,
+// mtime — so a reload that silently served a stale file is diagnosable
+// from the startup log alone.
+func logProvenance(what, path string) {
+	p, err := binio.FileProvenance(path)
+	if err != nil {
+		fmt.Printf("loaded %s from %s\n", what, path)
+		return
+	}
+	fmt.Printf("loaded %s from %s\n", what, p)
+}
+
 func run(cfg config) error {
 	ladder, err := parseFallback(cfg.fallback)
 	if err != nil {
@@ -192,21 +274,16 @@ func run(cfg config) error {
 		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	var gtreeIndex *fannr.GTree
+	var phlReloadable, gtreeReloadable bool
 	for _, name := range strings.Split(cfg.engines, ",") {
 		switch strings.TrimSpace(name) {
 		case "", "INE", "A*":
 			// always available
 		case "PHL":
 			if cfg.phlIndex != "" {
-				ix, err := fannr.LoadPHL(cfg.phlIndex, loadOpts)
-				if err != nil {
-					return fmt.Errorf("loading PHL index %s: %w", cfg.phlIndex, err)
-				}
-				if requireMmap && !ix.Mapped() {
-					return fmt.Errorf("loading PHL index %s: -mmap=on but the file cannot be zero-copy mapped (convert it to v4 with fannr-index -in)", cfg.phlIndex)
-				}
-				fmt.Printf("loaded hub labels from %s (mapped=%v)\n", cfg.phlIndex, ix.Mapped())
-				opts.PHL = ix
+				// File-backed indexes register as reloadable sources after
+				// server.New, so SIGHUP / POST /admin/reload can hot-swap them.
+				phlReloadable = true
 				break
 			}
 			fmt.Println("building hub labels...")
@@ -217,15 +294,7 @@ func run(cfg config) error {
 			opts.PHL = ix
 		case "GTree":
 			if cfg.gtreeIndex != "" {
-				tr, err := fannr.LoadGTree(cfg.gtreeIndex, g, loadOpts)
-				if err != nil {
-					return fmt.Errorf("loading GTree index %s: %w", cfg.gtreeIndex, err)
-				}
-				if requireMmap && !tr.Mapped() {
-					return fmt.Errorf("loading GTree index %s: -mmap=on but the file cannot be zero-copy mapped (convert it to v4 with fannr-index -in)", cfg.gtreeIndex)
-				}
-				fmt.Printf("loaded G-tree from %s (mapped=%v)\n", cfg.gtreeIndex, tr.Mapped())
-				gtreeIndex = tr
+				gtreeReloadable = true
 				break
 			}
 			fmt.Println("building G-tree...")
@@ -249,6 +318,19 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	defer srv.CloseIndexes()
+	if phlReloadable {
+		if err := addReloadablePHL(srv, g, cfg.phlIndex, loadOpts, requireMmap); err != nil {
+			return err
+		}
+		logProvenance("hub labels", cfg.phlIndex)
+	}
+	if gtreeReloadable {
+		if err := addReloadableGTree(srv, g, cfg.gtreeIndex, loadOpts, requireMmap); err != nil {
+			return err
+		}
+		logProvenance("G-tree", cfg.gtreeIndex)
+	}
 	if gtreeIndex != nil {
 		if err := srv.AddEngine("GTree", func() core.GPhi {
 			return core.NewGTreeGPhi(gtreeIndex)
@@ -268,6 +350,25 @@ func run(cfg config) error {
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-swaps every file-backed index (same as POST /admin/reload):
+	// in-flight requests finish on the generation they pinned, the old
+	// mapping unmaps when the last of them releases.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			fmt.Println("SIGHUP: reloading indexes")
+			for name, rerr := range srv.Reload(context.Background()) {
+				if rerr != nil {
+					fmt.Fprintf(os.Stderr, "fannr-server: reload %s: %v\n", name, rerr)
+				} else {
+					fmt.Printf("reloaded %s\n", name)
+				}
+			}
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() {

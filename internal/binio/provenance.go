@@ -1,0 +1,64 @@
+package binio
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Provenance identifies the on-disk artifact behind a loaded index —
+// what operators need when a quarantine or version skew fires: which
+// file, how big, which format generation, and when it last changed
+// (mtime moving under a live mapping is the classic torn-rotation
+// signature).
+type Provenance struct {
+	Path    string
+	Bytes   int64
+	ModTime time.Time
+	// Family and Version decompose the file's magic tag ("FANNRPHL", 4).
+	// Both are zero when the file is too short or not a section file.
+	Family  string
+	Version int
+}
+
+// String renders the provenance the way the server's startup log and
+// /meta want it: path, size, format, mtime.
+func (p Provenance) String() string {
+	format := "unknown"
+	if p.Family != "" {
+		format = fmt.Sprintf("%s v%d", p.Family, p.Version)
+	}
+	return fmt.Sprintf("%s (%d bytes, %s, mtime %s)",
+		p.Path, p.Bytes, format, p.ModTime.UTC().Format(time.RFC3339))
+}
+
+// FileProvenance stats path and sniffs its magic tag. It reads at most
+// one small prefix and never maps the file, so it is safe to call on a
+// file that is being rewritten. Stat errors are returned; an unreadable
+// or unrecognizable magic just leaves Family/Version zero (the file's
+// identity is still useful even when its header is garbage).
+func FileProvenance(path string) (Provenance, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return Provenance{Path: path}, err
+	}
+	p := Provenance{Path: path, Bytes: fi.Size(), ModTime: fi.ModTime()}
+	f, err := os.Open(path)
+	if err != nil {
+		return p, nil
+	}
+	defer f.Close()
+	// Magic tags end in '\n' within the first few dozen bytes; read a
+	// prefix and split on the first newline.
+	var head [32]byte
+	n, _ := f.Read(head[:])
+	for i := 0; i < n; i++ {
+		if head[i] == '\n' {
+			if family, version, ok := splitMagic(string(head[:i+1])); ok {
+				p.Family, p.Version = family, version
+			}
+			break
+		}
+	}
+	return p, nil
+}

@@ -393,6 +393,18 @@ func (f *SectionFile) MappedBytes() int64 {
 	return int64(len(f.data))
 }
 
+// MappedData returns the raw mapped byte range backing this file, or nil
+// for heap-backed files. The lifecycle layer registers this range so a
+// page-in fault (SIGBUS from a truncated or bit-rotted file) can be
+// attributed to the index that owns the mapping rather than to engine
+// code. Callers must not write through or retain the slice past Close.
+func (f *SectionFile) MappedData() []byte {
+	if f.mapping == nil {
+		return nil
+	}
+	return f.data
+}
+
 // Header returns a cursor over the header payload.
 func (f *SectionFile) Header() *HeaderReader { return &HeaderReader{data: f.header} }
 

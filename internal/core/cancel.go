@@ -1,0 +1,19 @@
+package core
+
+// CancelSink is implemented by engine wrappers whose Dist path can block
+// for reasons other than computation (injected latency, simulated slow
+// I/O) and that therefore need a wakeup channel: algorithms only poll
+// Query.Cancel between evaluations, which never interrupts a sleep in
+// progress. Binding nil detaches the channel — pooled engines MUST be
+// unbound before going back to their free list, exactly like StatsSink.
+type CancelSink interface {
+	BindCancel(done <-chan struct{})
+}
+
+// BindCancel attaches done to gp when the engine supports it (and is a
+// no-op otherwise, so engines that never block just ignore it).
+func BindCancel(gp GPhi, done <-chan struct{}) {
+	if sink, ok := gp.(CancelSink); ok {
+		sink.BindCancel(done)
+	}
+}

@@ -2,10 +2,42 @@ package gtree
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"fannr/internal/graph"
 )
+
+// fileChaosSeeds derives load-path corruption variants (torn writes,
+// crash truncations) of one encoded tree. It mirrors
+// resil.ChaosCorpus, which this in-package test cannot import: resil
+// wraps core engines and core depends on gtree itself.
+func fileChaosSeeds(f *testing.F, seed []byte) [][]byte {
+	f.Helper()
+	if len(seed) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(7))
+	torn := func(frac float64) []byte {
+		out := append([]byte(nil), seed...)
+		n := int(float64(len(out)) * frac)
+		if n < 1 {
+			n = 1
+		}
+		tail := out[len(out)-n:]
+		for i := range tail {
+			tail[i] = byte(rng.Intn(256))
+		}
+		return out
+	}
+	return [][]byte{
+		torn(0.5),
+		torn(1),
+		seed[:len(seed)*3/4],
+		seed[:len(seed)/4],
+		seed[:1],
+	}
+}
 
 // FuzzRead hardens the tree deserializer: arbitrary bytes must never
 // panic or allocate absurd buffers, and accepted inputs must produce a
@@ -34,6 +66,11 @@ func FuzzRead(f *testing.F) {
 		}
 		f.Add(seed)
 		f.Add(corrupted)
+		// The load-path chaos corpus: a write torn partway through and a
+		// crash-truncated tail, the two shapes a reload races in production.
+		for _, corrupt := range fileChaosSeeds(f, seed) {
+			f.Add(corrupt)
+		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data), g)

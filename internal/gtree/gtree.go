@@ -130,6 +130,21 @@ func (t *Tree) MappedBytes() int64 {
 	return t.sf.MappedBytes()
 }
 
+// MappedData returns the raw mapped byte range backing the tree, or nil
+// for heap-resident trees — the range the lifecycle fault layer
+// registers to attribute SIGBUS page-in faults to this tree.
+func (t *Tree) MappedData() []byte {
+	if t.sf == nil {
+		return nil
+	}
+	return t.sf.MappedData()
+}
+
+// MemoryBytes reports the heap-resident footprint (Stats().MemoryBytes
+// without walking the rest of the stats), matching the sizing interface
+// the server's index registry expects.
+func (t *Tree) MemoryBytes() int64 { return t.Stats().MemoryBytes }
+
 type node struct {
 	parent   int32
 	children []int32

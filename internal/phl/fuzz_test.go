@@ -3,7 +3,16 @@ package phl
 import (
 	"bytes"
 	"testing"
+
+	"fannr/internal/resil"
 )
+
+// fileChaosSeeds derives load-path corruption variants (torn writes,
+// crash truncations) of one encoded index via the resil corrupters.
+func fileChaosSeeds(f *testing.F, seed []byte) [][]byte {
+	f.Helper()
+	return resil.ChaosCorpus(seed, 7)
+}
 
 // FuzzRead hardens the index deserializer: arbitrary bytes must never
 // panic or allocate absurd buffers, and accepted inputs must produce an
@@ -34,6 +43,11 @@ func FuzzRead(f *testing.F) {
 		}
 		f.Add(seed)
 		f.Add(corrupted)
+		// The load-path chaos corpus: a write torn partway through and a
+		// crash-truncated tail, the two shapes a reload races in production.
+		for _, corrupt := range fileChaosSeeds(f, seed) {
+			f.Add(corrupt)
+		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ix, err := Read(bytes.NewReader(data))

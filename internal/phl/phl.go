@@ -86,6 +86,16 @@ func (ix *Index) MappedBytes() int64 {
 	return ix.sf.MappedBytes()
 }
 
+// MappedData returns the raw mapped byte range backing the index, or nil
+// for heap-resident indexes — the range the lifecycle fault layer
+// registers to attribute SIGBUS page-in faults to this index.
+func (ix *Index) MappedData() []byte {
+	if ix.sf == nil {
+		return nil
+	}
+	return ix.sf.MappedData()
+}
+
 // label returns node v's parallel hub/distance arrays as views into the
 // slabs.
 func (ix *Index) label(v graph.NodeID) ([]int32, []float64) {

@@ -42,6 +42,12 @@ func (e *cachedEngine) BindStats(s *core.Stats) {
 	core.BindStats(e.inner, s)
 }
 
+// BindCancel forwards the request's cancellation channel so blocking
+// wrappers beneath the cache (chaos latency) still wake on cancel.
+func (e *cachedEngine) BindCancel(done <-chan struct{}) {
+	core.BindCancel(e.inner, done)
+}
+
 func (e *cachedEngine) Reset(Q []graph.NodeID) {
 	e.qfp = FingerprintNodes(Q)
 	e.inner.Reset(Q)

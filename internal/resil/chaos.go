@@ -80,6 +80,16 @@ type ChaosEngine struct {
 	inner core.GPhi
 	in    *Injector
 	rng   *rand.Rand
+	done  <-chan struct{}
+}
+
+// BindCancel attaches the request's cancellation channel so injected
+// latency cannot outlive the request: a sleep in progress wakes on
+// cancel instead of blocking past the per-request deadline. The binding
+// also forwards to the inner engine in case it blocks too.
+func (c *ChaosEngine) BindCancel(done <-chan struct{}) {
+	c.done = done
+	core.BindCancel(c.inner, done)
 }
 
 // Name reports the inner engine's name: the wrapper is an invisible
@@ -94,7 +104,19 @@ func (c *ChaosEngine) Dist(p graph.NodeID, k int, agg core.Aggregate) (float64, 
 	if c.in.armed.Load() {
 		cfg := c.in.cfg
 		if cfg.Latency > 0 {
-			time.Sleep(cfg.Latency)
+			if c.done == nil {
+				time.Sleep(cfg.Latency)
+			} else {
+				// Sleep, but wake on request cancellation: the algorithm
+				// will see q.Cancel at its next poll and abort, instead of
+				// the injected latency pinning the engine past the deadline.
+				t := time.NewTimer(cfg.Latency)
+				select {
+				case <-t.C:
+				case <-c.done:
+					t.Stop()
+				}
+			}
 		}
 		if cfg.PanicProb > 0 && c.rng.Float64() < cfg.PanicProb {
 			panic(fmt.Sprintf("resil: injected panic in %s.Dist(%d)", c.inner.Name(), p))

@@ -1,0 +1,108 @@
+package resil
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+)
+
+// File-level chaos: deterministic corrupters for the index load path.
+// The GPhi injector (chaos.go) faults the compute layer; these fault the
+// storage layer underneath it — the failure modes PR 7's mmap loading
+// exposed the server to. Tests apply them to real section files and
+// assert the lifecycle layer contains the damage.
+
+// ErrTransientIO is the error TransientErrors gates produce, modeling a
+// device-level EIO that clears on retry (controller reset, NFS hiccup).
+var ErrTransientIO = errors.New("resil: injected transient I/O error")
+
+// TornWrite overwrites the tail of the file at path with seeded garbage,
+// keeping its length — the on-disk shape of a writer that died mid-way
+// through an in-place rewrite. Section CRCs catch this on verified
+// loads; mapped fast loads catch it at the table layer only, which is
+// exactly the gap the quarantine path exists for. frac in (0,1] selects
+// how much of the file (from the end) is clobbered.
+func TornWrite(path string, frac float64, seed int64) error {
+	if frac <= 0 || frac > 1 {
+		return fmt.Errorf("resil: torn-write fraction %v outside (0,1]", frac)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n := int(float64(len(data)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tail := data[len(data)-n:]
+	for i := range tail {
+		tail[i] = byte(rng.Intn(256))
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TruncateTail truncates the file at path to keep fraction of its bytes
+// — the on-disk shape of an interrupted copy or a log-structured volume
+// losing its tail. Against a live mapping this is the SIGBUS mode:
+// pages beyond the new EOF fault on next access. frac in [0,1) selects
+// how much of the file survives.
+func TruncateTail(path string, frac float64) error {
+	if frac < 0 || frac >= 1 {
+		return fmt.Errorf("resil: truncate fraction %v outside [0,1)", frac)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, int64(float64(fi.Size())*frac))
+}
+
+// ChaosCorpus returns in-memory variants of an encoded artifact carrying
+// the same damage shapes TornWrite and TruncateTail inject on disk: a
+// half-garbled tail, a fully-garbled tail, and crash truncations at
+// several depths. Decoder fuzz harnesses seed their corpora with these
+// so every corruption the lifecycle layer contains at serve time is also
+// thrown at the parser.
+func ChaosCorpus(data []byte, seed int64) [][]byte {
+	if len(data) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	torn := func(frac float64) []byte {
+		out := append([]byte(nil), data...)
+		n := int(float64(len(out)) * frac)
+		if n < 1 {
+			n = 1
+		}
+		tail := out[len(out)-n:]
+		for i := range tail {
+			tail[i] = byte(rng.Intn(256))
+		}
+		return out
+	}
+	return [][]byte{
+		torn(0.5),
+		torn(1),
+		data[:len(data)*3/4],
+		data[:len(data)/4],
+		data[:1],
+	}
+}
+
+// TransientErrors returns a gate that fails its first n calls with
+// ErrTransientIO and succeeds forever after — composed in front of a
+// load function, it models an EIO burst that a retry policy should wait
+// out. The gate is safe for concurrent use.
+func TransientErrors(n int) func() error {
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	return func() error {
+		if remaining.Add(-1) >= 0 {
+			return ErrTransientIO
+		}
+		return nil
+	}
+}

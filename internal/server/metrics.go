@@ -46,6 +46,13 @@ const (
 	mCoalesced      = "fannr_coalesced_total"
 	mBatchSize      = "fannr_batch_size"
 	mIndexBytes     = "fannr_index_bytes"
+	// Lifecycle series (reloadable indexes only): memory faults contained
+	// on an index's mapping, reload attempts by outcome, the serving
+	// generation, and whether the index is currently quarantined.
+	mIndexFaults      = "fannr_index_faults_total"
+	mIndexReloads     = "fannr_index_reloads_total"
+	mIndexGeneration  = "fannr_index_generation"
+	mIndexQuarantined = "fannr_index_quarantined"
 )
 
 // batchSizeBuckets bound the fannr_batch_size histogram: batch sizes are
@@ -88,6 +95,9 @@ type serverMetrics struct {
 	requestSeconds map[string]*obs.Histogram // by route label
 	coalesced      *obs.Counter              // nil when coalescing is off
 	batchSize      *obs.Histogram            // nil when batching is off
+	// indexFaults is incremented by noteIndexFault for every contained
+	// memory fault, keyed by index name (reloadable indexes only).
+	indexFaults map[string]*obs.Counter
 }
 
 // breakerStateValue maps breaker states onto the gauge scale operators
@@ -119,13 +129,14 @@ func breakerStateName(v float64) string {
 // probes for paths that don't exist) lands in "other" so cardinality
 // stays bounded no matter what clients request.
 var knownRoutes = map[string]string{
-	"/fann":    "fann",
-	"/dist":    "dist",
-	"/meta":    "meta",
-	"/health":  "healthz",
-	"/healthz": "healthz",
-	"/readyz":  "readyz",
-	"/metrics": "metrics",
+	"/fann":         "fann",
+	"/dist":         "dist",
+	"/meta":         "meta",
+	"/health":       "healthz",
+	"/healthz":      "healthz",
+	"/readyz":       "readyz",
+	"/metrics":      "metrics",
+	"/admin/reload": "admin_reload",
 }
 
 func routeLabel(path string) string {
@@ -144,14 +155,18 @@ func routeLabel(path string) string {
 func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	m := &serverMetrics{
 		reg:            reg,
-		engines:        make(map[string]*engineMetrics, len(s.pools)),
+		engines:        make(map[string]*engineMetrics, len(s.pools)+len(s.engineIndex)),
 		requestSeconds: make(map[string]*obs.Histogram, len(knownRoutes)+1),
+		indexFaults:    make(map[string]*obs.Counter, len(s.reload)),
 	}
-	for _, route := range []string{"fann", "dist", "meta", "healthz", "readyz", "metrics", "other"} {
+	for _, route := range []string{"fann", "dist", "meta", "healthz", "readyz", "metrics", "admin_reload", "other"} {
 		m.requestSeconds[route] = reg.Histogram(mRequestSeconds,
 			"HTTP request latency by route.", obs.DefBuckets, obs.L("route", route))
 	}
-	for name, pool := range s.pools {
+	// registerEngine builds one engine's op-counter handles and breaker
+	// series — shared by static pools and reloadable engines (whose pool
+	// gauges differ: they read through the live index generation).
+	registerEngine := func(name string) *engineMetrics {
 		el := obs.L("engine", name)
 		em := &engineMetrics{
 			compute: reg.Histogram(mComputeSeconds,
@@ -176,6 +191,20 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		}
 		m.engines[name] = em
 
+		b := s.breakers[name]
+		reg.GaugeFunc(mBreakerState,
+			"Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return breakerStateValue(b.State()) }, el)
+		b.OnTransition(func(_, to resil.State) {
+			if to == resil.Open {
+				em.trips.Inc()
+			}
+		})
+		return em
+	}
+	for name, pool := range s.pools {
+		registerEngine(name)
+		el := obs.L("engine", name)
 		p := pool
 		reg.GaugeFunc(mPoolInflight, "Engines of this kind checked out right now.",
 			func() float64 { inflight, _, _ := p.Gauges(); return float64(inflight) }, el)
@@ -189,16 +218,27 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 			func() float64 { _, reused, _ := p.Stats(); return float64(reused) }, el)
 		reg.GaugeFunc(mPoolIdle, "Engines of this kind idle on the free list.",
 			func() float64 { _, _, idle := p.Stats(); return float64(idle) }, el)
-
-		b := s.breakers[name]
-		reg.GaugeFunc(mBreakerState,
-			"Circuit breaker state: 0 closed, 1 half-open, 2 open.",
-			func() float64 { return breakerStateValue(b.State()) }, el)
-		b.OnTransition(func(_, to resil.State) {
-			if to == resil.Open {
-				em.trips.Inc()
-			}
-		})
+	}
+	// Reloadable engines read their pool series through the live
+	// generation (plus retired totals folded from closed generations, so
+	// the counter-shaped series stay cumulative across swaps; a scrape
+	// racing a swap may observe a transient dip, never a loss).
+	for name, idx := range s.engineIndex {
+		registerEngine(name)
+		el := obs.L("engine", name)
+		engine, r := name, s.reload[idx]
+		reg.GaugeFunc(mPoolInflight, "Engines of this kind checked out right now.",
+			func() float64 { inflight, _, _ := r.poolGauges(engine); return float64(inflight) }, el)
+		reg.GaugeFunc(mPoolQueued, "Requests waiting for an engine of this kind.",
+			func() float64 { _, queued, _ := r.poolGauges(engine); return float64(queued) }, el)
+		reg.CounterFunc(mPoolShed, "Requests shed at this pool's admission gate.",
+			func() float64 { _, _, shed := r.poolGauges(engine); return float64(shed) }, el)
+		reg.CounterFunc(mPoolCreated, "Engines of this kind ever constructed.",
+			func() float64 { created, _, _ := r.poolStats(engine); return float64(created) }, el)
+		reg.CounterFunc(mPoolReused, "Checkouts served from the free list.",
+			func() float64 { _, reused, _ := r.poolStats(engine); return float64(reused) }, el)
+		reg.GaugeFunc(mPoolIdle, "Engines of this kind idle on the free list.",
+			func() float64 { _, _, idle := r.poolStats(engine); return float64(idle) }, el)
 	}
 	reg.GaugeFunc(mDistInflight, "In-flight /dist computations.",
 		func() float64 { inflight, _, _ := s.distGate.Gauges(); return float64(inflight) })
@@ -241,6 +281,31 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 			func() float64 { return float64(sz.heap) }, obs.L("index", name), obs.L("mem", "heap"))
 		reg.GaugeFunc(mIndexBytes, "Bytes of a preprocessing index by backing memory (heap vs mmap).",
 			func() float64 { return float64(sz.mapped) }, obs.L("index", name), obs.L("mem", "mapped"))
+	}
+	// Reloadable indexes: sizes read through a short-lived pin on the
+	// live generation (0 while quarantined), plus the lifecycle series.
+	for name, r := range s.reload {
+		r := r
+		il := obs.L("index", name)
+		reg.GaugeFunc(mIndexBytes, "Bytes of a preprocessing index by backing memory (heap vs mmap).",
+			func() float64 { heap, _ := r.indexBytes(); return float64(heap) }, il, obs.L("mem", "heap"))
+		reg.GaugeFunc(mIndexBytes, "Bytes of a preprocessing index by backing memory (heap vs mmap).",
+			func() float64 { _, mapped := r.indexBytes(); return float64(mapped) }, il, obs.L("mem", "mapped"))
+		m.indexFaults[name] = reg.Counter(mIndexFaults,
+			"Memory faults (SIGBUS/SIGSEGV) contained on this index's mapping.", il)
+		reg.CounterFunc(mIndexReloads, "Index reload attempts by outcome.",
+			func() float64 { return float64(r.holder.State().Reloads) }, il, obs.L("outcome", "ok"))
+		reg.CounterFunc(mIndexReloads, "Index reload attempts by outcome.",
+			func() float64 { return float64(r.holder.State().ReloadFailures) }, il, obs.L("outcome", "error"))
+		reg.GaugeFunc(mIndexGeneration, "Generation of the serving index (1 = initial load).",
+			func() float64 { return float64(r.holder.State().Generation) }, il)
+		reg.GaugeFunc(mIndexQuarantined, "1 while this index is quarantined after a fault, else 0.",
+			func() float64 {
+				if r.holder.State().Quarantined {
+					return 1
+				}
+				return 0
+			}, il)
 	}
 	if s.flight != nil {
 		m.coalesced = reg.Counter(mCoalesced,

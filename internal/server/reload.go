@@ -1,0 +1,457 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"fannr/internal/binio"
+	"fannr/internal/core"
+	"fannr/internal/lifecycle"
+	"fannr/internal/qcache"
+	"fannr/internal/resil"
+)
+
+// ReloadableIndex is what a hot-swappable index must expose: closable
+// (drops the mapping), sized for /meta and fannr_index_bytes, and — when
+// mmap-backed — its raw mapped range so page-in faults can be attributed
+// to it. phl.Index and gtree.Tree both implement it.
+type ReloadableIndex interface {
+	Close() error
+	MemoryBytes() int64
+	MappedBytes() int64
+	MappedData() []byte
+}
+
+// IndexSource describes one reloadable index: how to load a generation
+// from disk and which engines it powers. The Load function is called at
+// registration (the initial generation) and again on every reload; it
+// must return a freshly loaded index each time, never a shared one.
+type IndexSource struct {
+	// Name keys the index in /meta, /readyz, metrics and reload results
+	// (e.g. "phl", "gtree").
+	Name string
+	// Path is the backing file, reported as provenance on /meta and the
+	// startup log. Empty is allowed (provenance is then omitted).
+	Path string
+	// Load loads one generation. Failures are retried per the server's
+	// reload policy; a failure never evicts the serving generation.
+	Load func() (ReloadableIndex, error)
+	// Engines maps engine names to factories over the loaded index. Each
+	// generation gets fresh engine pools minted from these factories, so
+	// no pooled engine ever outlives its index's mapping.
+	Engines map[string]func(ReloadableIndex) core.GPhi
+}
+
+// snapshotSet is one loaded generation: the index plus the engine pools
+// minted over it and the fault-range registration for its mapping. It is
+// the lifecycle.Resource the holder refcounts; Close runs when the last
+// pin drops — folding the pools' counters into the reloadable's retired
+// totals (so fannr_pool_* stay roughly cumulative across swaps), then
+// dropping the fault range and the mapping.
+type snapshotSet struct {
+	ix         ReloadableIndex
+	pools      map[string]*core.EnginePool
+	unregister func()
+	retire     func(*snapshotSet)
+}
+
+func (ss *snapshotSet) Close() error {
+	if ss.retire != nil {
+		ss.retire(ss)
+	}
+	ss.unregister()
+	return ss.ix.Close()
+}
+
+// retiredCounters accumulates the monotone counters of closed
+// generations' pools, so the per-engine counter series survive swaps.
+type retiredCounters struct {
+	created, reused, shed atomic.Int64
+}
+
+// reloadable is the server's handle on one hot-swappable index: the
+// lifecycle holder plus per-engine retired counters and cached
+// provenance.
+type reloadable struct {
+	src     IndexSource
+	holder  *lifecycle.Holder
+	engines []string // sorted engine names, fixed at registration
+	retired map[string]*retiredCounters
+	prov    atomic.Pointer[binio.Provenance]
+}
+
+// refreshProvenance re-stats the backing file (best-effort: a vanished
+// file keeps the previous provenance rather than erasing it).
+func (r *reloadable) refreshProvenance() {
+	if r.src.Path == "" {
+		return
+	}
+	if p, err := binio.FileProvenance(r.src.Path); err == nil {
+		r.prov.Store(&p)
+	}
+}
+
+// pin acquires the live generation, or nil when quarantined/unloaded.
+func (r *reloadable) pin() *lifecycle.Pin {
+	p, err := r.holder.Acquire()
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// poolGauges reads one engine's admission gauges across generations:
+// live snapshot values plus retired shed counts. Inflight/queued are
+// instantaneous and die with their generation; shed is monotone.
+func (r *reloadable) poolGauges(engine string) (inflight, queued, shed int64) {
+	rc := r.retired[engine]
+	shed = rc.shed.Load()
+	if p := r.pin(); p != nil {
+		defer p.Release()
+		i, q, sh := p.Value().(*snapshotSet).pools[engine].Gauges()
+		inflight, queued = i, q
+		shed += sh
+	}
+	return
+}
+
+// poolStats reads one engine's pool counters across generations, like
+// poolGauges: created/reused are monotone (retired + live), idle is
+// instantaneous.
+func (r *reloadable) poolStats(engine string) (created, reused int64, idle int) {
+	rc := r.retired[engine]
+	created, reused = rc.created.Load(), rc.reused.Load()
+	if p := r.pin(); p != nil {
+		defer p.Release()
+		c, ru, id := p.Value().(*snapshotSet).pools[engine].Stats()
+		created += c
+		reused += ru
+		idle = id
+	}
+	return
+}
+
+// indexBytes reads the live generation's footprint split (0/0 while
+// quarantined — the mapping is gone or going).
+func (r *reloadable) indexBytes() (heap, mapped int64) {
+	if p := r.pin(); p != nil {
+		defer p.Release()
+		ix := p.Value().(*snapshotSet).ix
+		return ix.MemoryBytes(), ix.MappedBytes()
+	}
+	return 0, 0
+}
+
+// reloadRetry is the backoff schedule for index loads: a reload racing a
+// half-written file waits the writer out instead of failing the swap.
+// Jitter is seeded per server start; tests inject their own policies via
+// the holder directly.
+func reloadRetry() resil.RetryPolicy {
+	return resil.RetryPolicy{
+		Attempts: 3,
+		Base:     50 * time.Millisecond,
+		Max:      time.Second,
+		Jitter:   0.2,
+		Seed:     time.Now().UnixNano(),
+	}
+}
+
+// AddReloadable registers a hot-swappable index and its engines. The
+// initial generation loads synchronously (with retry) — a broken file
+// fails registration, like any other startup error. After Handler
+// freezes the server, POST /admin/reload and SIGHUP (wired in the CLI)
+// swap in fresh generations atomically: in-flight requests finish on
+// the generation they pinned, and the old mapping unmaps when its last
+// request releases. Like AddEngine, registration is rejected once
+// frozen.
+func (s *Server) AddReloadable(src IndexSource) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return fmt.Errorf("server: AddReloadable(%q) after Handler — registration is frozen once serving starts", src.Name)
+	}
+	if src.Name == "" || src.Load == nil || len(src.Engines) == 0 {
+		return errors.New("server: AddReloadable needs a name, a loader, and at least one engine")
+	}
+	if _, dup := s.reload[src.Name]; dup {
+		return fmt.Errorf("server: index %q already registered", src.Name)
+	}
+	for name := range src.Engines {
+		if _, dup := s.pools[name]; dup {
+			return fmt.Errorf("server: engine %q already registered", name)
+		}
+		if _, dup := s.engineIndex[name]; dup {
+			return fmt.Errorf("server: engine %q already registered", name)
+		}
+	}
+
+	r := &reloadable{src: src, retired: map[string]*retiredCounters{}}
+	for name := range src.Engines {
+		r.engines = append(r.engines, name)
+		r.retired[name] = &retiredCounters{}
+	}
+	sort.Strings(r.engines)
+
+	load := func() (lifecycle.Resource, error) {
+		ix, err := src.Load()
+		if err != nil {
+			return nil, err
+		}
+		ss := &snapshotSet{
+			ix:    ix,
+			pools: make(map[string]*core.EnginePool, len(src.Engines)),
+			// The mapping joins the fault registry for exactly its serving
+			// lifetime: registered before any engine can touch it,
+			// unregistered in Close after the last pin drops.
+			unregister: s.ranges.Register(src.Name, ix.MappedData()),
+			retire: func(ss *snapshotSet) {
+				for name, p := range ss.pools {
+					created, reused, _ := p.Stats()
+					_, _, shed := p.Gauges()
+					rc := r.retired[name]
+					rc.created.Add(created)
+					rc.reused.Add(reused)
+					rc.shed.Add(shed)
+				}
+			},
+		}
+		for name, factory := range src.Engines {
+			f := factory
+			ss.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, func() core.GPhi {
+				return f(ix)
+			})
+		}
+		r.refreshProvenance()
+		return ss, nil
+	}
+
+	holder, err := lifecycle.New(src.Name, load, lifecycle.Options{Retry: reloadRetry()})
+	if err != nil {
+		return err
+	}
+	// Verify each factory builds once at startup, like addIER: a factory
+	// that cannot mint an engine should fail registration, not the first
+	// request. The probe engines are discarded.
+	if verr := func() (verr error) {
+		pin, err := holder.Acquire()
+		if err != nil {
+			return err
+		}
+		defer pin.Release()
+		ix := pin.Value().(*snapshotSet).ix
+		for name, factory := range src.Engines {
+			if err := verifyFactory(name, factory, ix); err != nil {
+				return err
+			}
+		}
+		return nil
+	}(); verr != nil {
+		holder.Close()
+		return verr
+	}
+
+	r.holder = holder
+	s.reload[src.Name] = r
+	for name := range src.Engines {
+		s.engineIndex[name] = src.Name
+		s.breakers[name] = s.newBreaker()
+	}
+	return nil
+}
+
+// verifyFactory builds one engine and converts a factory panic into a
+// registration error.
+func verifyFactory(name string, factory func(ReloadableIndex) core.GPhi, ix ReloadableIndex) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("server: engine %q factory failed: %v", name, rec)
+		}
+	}()
+	if gp := factory(ix); gp == nil {
+		return fmt.Errorf("server: engine %q factory returned nil", name)
+	}
+	return nil
+}
+
+// hasEngine reports whether name is a registered engine, static or
+// reloadable. Both maps are frozen before serving, so the request path
+// reads them lock-free.
+func (s *Server) hasEngine(name string) bool {
+	if _, ok := s.pools[name]; ok {
+		return true
+	}
+	_, ok := s.engineIndex[name]
+	return ok
+}
+
+// engineAvailable reports whether name can serve right now: static
+// engines always can (their breaker is consulted separately); a
+// reloadable engine cannot while its index is quarantined or mid-initial
+// load. routeEngine consults this before the breaker so a quarantined
+// index falls through the fallback ladder exactly like an open breaker.
+func (s *Server) engineAvailable(name string) bool {
+	idx, ok := s.engineIndex[name]
+	if !ok {
+		return true
+	}
+	return s.reload[idx].holder.State().Live
+}
+
+// engineGeneration returns the live generation of the index behind a
+// reloadable engine (0 for static engines) — stamped into cache keys so
+// a swap invalidates cached results computed on the old index.
+func (s *Server) engineGeneration(name string) uint64 {
+	idx, ok := s.engineIndex[name]
+	if !ok {
+		return 0
+	}
+	return s.reload[idx].holder.State().Generation
+}
+
+// checkout resolves the pool serving engine name, pinning the index
+// generation for reloadable engines. The returned pin (nil for static
+// engines) must be released after the engine goes back to its pool —
+// the pin is what keeps the pool's backing mapping alive.
+func (s *Server) checkout(name string) (*core.EnginePool, *lifecycle.Pin, error) {
+	if pool, ok := s.pools[name]; ok {
+		return pool, nil, nil
+	}
+	r := s.reload[s.engineIndex[name]]
+	pin, err := r.holder.Acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pin.Value().(*snapshotSet).pools[name], pin, nil
+}
+
+// batchSource resolves the qcache batch executor's engine source: static
+// pools directly, reloadable engines through a per-flush pinning adapter.
+func (s *Server) batchSource(name string) qcache.EngineSource {
+	if pool, ok := s.pools[name]; ok {
+		return pool
+	}
+	return &pinnedSource{s: s, engine: name}
+}
+
+// pinnedSource adapts a reloadable engine to qcache.EngineSource: each
+// Acquire pins the live generation and checks an engine out of that
+// generation's pool; Release/Discard return the engine and drop the pin.
+// The batch executor uses one source per flush on one goroutine, so the
+// pin/pool pair needs no locking. Acquire runs under the fault guard —
+// an engine factory faulting on a rotted mapping quarantines the index
+// and fails the batch instead of killing the flush goroutine.
+type pinnedSource struct {
+	s      *Server
+	engine string
+	pin    *lifecycle.Pin
+	pool   *core.EnginePool
+}
+
+func (ps *pinnedSource) Acquire(ctx context.Context) (gp core.GPhi, err error) {
+	defer ps.s.ranges.Guard(ps.s.noteIndexFault)(&err)
+	pool, pin, err := ps.s.checkout(ps.engine)
+	if err != nil {
+		return nil, err
+	}
+	gp, err = pool.Acquire(ctx)
+	if err != nil {
+		if pin != nil {
+			pin.Release()
+		}
+		return nil, err
+	}
+	ps.pin, ps.pool = pin, pool
+	return gp, nil
+}
+
+func (ps *pinnedSource) Release(gp core.GPhi) {
+	ps.pool.Release(gp)
+	if ps.pin != nil {
+		ps.pin.Release()
+	}
+	ps.pin, ps.pool = nil, nil
+}
+
+func (ps *pinnedSource) Discard() {
+	ps.pool.Discard()
+	if ps.pin != nil {
+		ps.pin.Release()
+	}
+	ps.pin, ps.pool = nil, nil
+}
+
+// noteIndexFault is the Guard callback: quarantine the faulting index
+// and count the fault. The request that hit the fault gets its 503
+// "index_fault" from the classified error; every later request routes
+// down the fallback ladder until a reload restores the index.
+func (s *Server) noteIndexFault(f *lifecycle.IndexFault) {
+	r, ok := s.reload[f.Index]
+	if !ok {
+		return
+	}
+	if r.holder.Quarantine(f.Error()) {
+		s.logger.Error("index quarantined after memory fault",
+			"index", f.Index, "addr", fmt.Sprintf("%#x", f.Addr), "cause", f.Cause)
+	}
+	if m := s.metrics; m != nil {
+		if c, ok := m.indexFaults[f.Index]; ok {
+			c.Inc()
+		}
+	}
+}
+
+// Reload swaps every reloadable index to a freshly loaded generation,
+// returning per-index errors (nil entries are successes). In-flight
+// requests finish on their pinned generations; a failed load keeps the
+// serving generation untouched. The CLI calls this on SIGHUP; HTTP
+// clients POST /admin/reload.
+func (s *Server) Reload(ctx context.Context) map[string]error {
+	results := make(map[string]error, len(s.reload))
+	for name, r := range s.reload {
+		err := r.holder.Reload(ctx)
+		results[name] = err
+		st := r.holder.State()
+		if err != nil {
+			s.logger.Error("index reload failed", "index", name, "error", err,
+				"generation", st.Generation, "quarantined", st.Quarantined)
+		} else {
+			r.refreshProvenance()
+			s.logger.Info("index reloaded", "index", name, "generation", st.Generation)
+		}
+	}
+	return results
+}
+
+// CloseIndexes releases the server's reference to every reloadable
+// index. Call after the HTTP server has shut down; generations still
+// pinned by straggling requests close when those requests finish.
+func (s *Server) CloseIndexes() {
+	for _, r := range s.reload {
+		r.holder.Close()
+	}
+}
+
+// handleReload is POST /admin/reload: swap all reloadable indexes and
+// report per-index outcomes. 200 when every index reloaded; 500 with
+// per-index detail when any failed (the serving generations are
+// unchanged in that case).
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	results := s.Reload(r.Context())
+	status := http.StatusOK
+	body := make(map[string]any, len(results))
+	for name, err := range results {
+		st := s.reload[name].holder.State()
+		entry := map[string]any{"generation": st.Generation, "quarantined": st.Quarantined}
+		if err != nil {
+			status = http.StatusInternalServerError
+			entry["error"] = err.Error()
+		}
+		body[name] = entry
+	}
+	writeJSON(w, status, map[string]any{"indexes": body})
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/phl"
+	"fannr/internal/resil"
+)
+
+// countingIndex wraps a loaded PHL generation so tests can prove every
+// mapping is released exactly once: loads and closes must balance after
+// the server lets go.
+type countingIndex struct {
+	*phl.Index
+	closes *atomic.Int64
+}
+
+func (c *countingIndex) Close() error {
+	c.closes.Add(1)
+	return c.Index.Close()
+}
+
+// reloadHarness is a server whose PHL engine runs off a hot-swappable
+// mmap'd index file, plus the bookkeeping the lifecycle tests assert on.
+type reloadHarness struct {
+	srv  *Server
+	ts   *httptest.Server
+	g    *graph.Graph
+	path string
+	good []byte // healthy v4 file bytes, for corruption-then-restore
+
+	loads, closes atomic.Int64
+}
+
+// newReloadHarness builds a graph, persists its hub labels as a v4 file,
+// and serves the "PHL" engine from a reloadable mmap of that file.
+// verify=true makes every (re)load checksum the file — the torn-write
+// tests need loads to fail loudly; the fault tests need lazy mapping so
+// corruption is only discovered at query time.
+func newReloadHarness(t *testing.T, verify bool, fallback map[string]string, opts Options) *reloadHarness {
+	t.Helper()
+	if runtime.GOOS != "linux" && runtime.GOOS != "darwin" {
+		t.Skip("mmap index lifecycle tests need a POSIX mmap host")
+	}
+	g, err := graph.Generate(graph.GenConfig{Nodes: 800, Seed: 5, Name: "srv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &reloadHarness{g: g, path: filepath.Join(t.TempDir(), "phl.v4")}
+	ix, err := phl.Build(g, phl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h.good = buf.Bytes()
+	if err := os.WriteFile(h.path, h.good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = srv.AddReloadable(IndexSource{
+		Name: "phl",
+		Path: h.path,
+		Load: func() (ReloadableIndex, error) {
+			ix, err := phl.Load(h.path, phl.LoadOptions{Mmap: true, Verify: verify})
+			if err != nil {
+				return nil, err
+			}
+			if !ix.Mapped() {
+				ix.Close()
+				return nil, fmt.Errorf("test index %s did not map", h.path)
+			}
+			h.loads.Add(1)
+			return &countingIndex{Index: ix, closes: &h.closes}, nil
+		},
+		Engines: map[string]func(ReloadableIndex) core.GPhi{
+			"PHL": func(ix ReloadableIndex) core.GPhi {
+				return core.NewOracleGPhi("PHL", ix.(*countingIndex).Index)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetFallback(fallback); err != nil {
+		t.Fatal(err)
+	}
+	h.srv = srv
+	h.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		h.ts.Close()
+		h.srv.CloseIndexes()
+	})
+	return h
+}
+
+// swapFile atomically replaces the index file via rename, the way a real
+// index rebuild lands: the serving generation keeps its old inode mapped
+// while the directory entry points at the new bytes.
+func (h *reloadHarness) swapFile(t *testing.T, content []byte) {
+	t.Helper()
+	tmp := h.path + ".next"
+	if err := os.WriteFile(tmp, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, h.path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (h *reloadHarness) query(i int) (FANNRequest, core.Query) {
+	off := graph.NodeID(i * 37 % 100)
+	q := core.Query{
+		P:   []graph.NodeID{10 + off, 50 + off, 100 + off, 200 + off, 400 + off, 700 + off},
+		Q:   []graph.NodeID{5 + off, 25 + off, 125 + off, 325 + off, 625 + off},
+		Phi: 0.6,
+		Agg: core.Max,
+	}
+	return FANNRequest{P: q.P, Q: q.Q, Phi: q.Phi, Agg: "max", Algo: "rlist", Engine: "PHL"}, q
+}
+
+// reloadResponse is the POST /admin/reload body shape.
+type reloadResponse struct {
+	Indexes map[string]struct {
+		Generation  uint64 `json:"generation"`
+		Quarantined bool   `json:"quarantined"`
+		Error       string `json:"error"`
+	} `json:"indexes"`
+}
+
+func postReload(t *testing.T, url string) (int, reloadResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out reloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getReadyz(t *testing.T, url string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Quarantined map[string]string `json:"quarantined"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body.Quarantined
+}
+
+// TestIndexFaultQuarantineRecovery is the chaos acceptance path: truncate
+// the index file under its live mapping, and the page-in fault must cost
+// exactly one request — not the process. The faulting request answers 503
+// "index_fault", the index quarantines (visible on /readyz), later
+// requests ride the fallback ladder stamped degraded, and reloading a
+// restored file brings the engine back at the next generation.
+func TestIndexFaultQuarantineRecovery(t *testing.T) {
+	h := newReloadHarness(t, false, map[string]string{"PHL": "INE"}, Options{})
+	req, q := h.query(0)
+	want, err := core.Brute(h.g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy baseline through the mapped index.
+	status, resp := post[FANNResponse](t, h.ts.URL+"/fann", req)
+	if status != http.StatusOK || resp.Engine != "PHL" || resp.Degraded {
+		t.Fatalf("healthy query: status %d resp %+v", status, resp)
+	}
+	if math.Abs(resp.Answers[0].Dist-want.Dist) > 1e-6 {
+		t.Fatalf("healthy dist %v, want %v", resp.Answers[0].Dist, want.Dist)
+	}
+
+	// Rot the file under the live mapping. Every mapped page past the new
+	// EOF now faults on access.
+	if err := resil.TruncateTail(h.path, 0); err != nil {
+		t.Fatal(err)
+	}
+	var sawFault bool
+	for i := 0; i < 10 && !sawFault; i++ {
+		freq, _ := h.query(i)
+		raw, _ := json.Marshal(freq)
+		st, e := postRaw(t, h.ts.URL+"/fann", raw)
+		switch {
+		case st == http.StatusServiceUnavailable && e.Code == "index_fault":
+			sawFault = true
+		case st == http.StatusOK:
+			// Pages may still be resident for this query's labels; poke on.
+		default:
+			t.Fatalf("query %d after truncation: status %d code %q", i, st, e.Code)
+		}
+	}
+	if !sawFault {
+		t.Fatal("no request observed the index fault after truncation")
+	}
+
+	// The process is alive and the engine degrades to the ladder.
+	status, resp = post[FANNResponse](t, h.ts.URL+"/fann", req)
+	if status != http.StatusOK || resp.Engine != "INE" || !resp.Degraded {
+		t.Fatalf("post-fault query: status %d resp %+v (want degraded INE)", status, resp)
+	}
+	if math.Abs(resp.Answers[0].Dist-want.Dist) > 1e-6 {
+		t.Fatalf("degraded dist %v, want %v", resp.Answers[0].Dist, want.Dist)
+	}
+
+	// Readiness reports the quarantine.
+	st, quarantined := getReadyz(t, h.ts.URL)
+	if st != http.StatusServiceUnavailable || quarantined["phl"] == "" {
+		t.Fatalf("/readyz after fault: status %d quarantined %v", st, quarantined)
+	}
+
+	// Restore the file and hot-reload: next generation serves, readiness
+	// recovers, answers come from the PHL engine again.
+	h.swapFile(t, h.good)
+	rst, rr := postReload(t, h.ts.URL)
+	if rst != http.StatusOK {
+		t.Fatalf("reload of restored file: status %d body %+v", rst, rr)
+	}
+	if e := rr.Indexes["phl"]; e.Generation != 2 || e.Quarantined {
+		t.Fatalf("reload entry %+v, want generation 2 live", e)
+	}
+	if st, quarantined := getReadyz(t, h.ts.URL); st != http.StatusOK || len(quarantined) != 0 {
+		t.Fatalf("/readyz after recovery: status %d quarantined %v", st, quarantined)
+	}
+	status, resp = post[FANNResponse](t, h.ts.URL+"/fann", req)
+	if status != http.StatusOK || resp.Engine != "PHL" || resp.Degraded {
+		t.Fatalf("recovered query: status %d resp %+v", status, resp)
+	}
+	if math.Abs(resp.Answers[0].Dist-want.Dist) > 1e-6 {
+		t.Fatalf("recovered dist %v, want %v", resp.Answers[0].Dist, want.Dist)
+	}
+
+	// The faulted generation's mapping was released despite never being
+	// swapped out cleanly.
+	if loads, closes := h.loads.Load(), h.closes.Load(); loads != 2 || closes != 1 {
+		t.Fatalf("loads %d closes %d, want 2 loads with only the faulted one closed", loads, closes)
+	}
+}
+
+// TestReloadFailureKeepsServing pins the half-written-file contract: a
+// reload that lands on a torn index must retry, fail, and leave the
+// serving generation untouched — never evict good for broken.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	h := newReloadHarness(t, true, nil, Options{})
+	req, q := h.query(0)
+	want, err := core.Brute(h.g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Land a torn copy of the index (rename, like a crashed rebuild).
+	torn := append([]byte(nil), h.good...)
+	tornPath := h.path + ".torn"
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := resil.TornWrite(tornPath, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	tornBytes, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.swapFile(t, tornBytes)
+
+	st, rr := postReload(t, h.ts.URL)
+	if st != http.StatusInternalServerError {
+		t.Fatalf("reload of torn file: status %d, want 500", st)
+	}
+	if e := rr.Indexes["phl"]; e.Error == "" || e.Generation != 1 {
+		t.Fatalf("reload entry %+v, want generation 1 with an error", e)
+	}
+
+	// Generation 1 still serves, exactly.
+	status, resp := post[FANNResponse](t, h.ts.URL+"/fann", req)
+	if status != http.StatusOK || resp.Engine != "PHL" || resp.Degraded {
+		t.Fatalf("query after failed reload: status %d resp %+v", status, resp)
+	}
+	if math.Abs(resp.Answers[0].Dist-want.Dist) > 1e-6 {
+		t.Fatalf("dist %v, want %v", resp.Answers[0].Dist, want.Dist)
+	}
+
+	// A repaired file swaps in on the next reload.
+	h.swapFile(t, h.good)
+	if st, rr := postReload(t, h.ts.URL); st != http.StatusOK || rr.Indexes["phl"].Generation != 2 {
+		t.Fatalf("reload of repaired file: status %d body %+v", st, rr)
+	}
+}
+
+// TestReloadSwapStorm hammers /fann from eight workers while the index
+// hot-swaps 25 times. Every response must be 200 and exactly correct
+// against Brute (old and new generations are loads of the same file, so
+// there is one right answer), and afterwards every loaded generation
+// must have been closed — zero leaked mappings, zero leaked goroutines.
+func TestReloadSwapStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swap storm is a soak test")
+	}
+	h := newReloadHarness(t, false, nil, Options{})
+
+	const nq = 6
+	reqs := make([]FANNRequest, nq)
+	wants := make([]core.Answer, nq)
+	for i := 0; i < nq; i++ {
+		req, q := h.query(i)
+		want, err := core.Brute(h.g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i], wants[i] = req, want
+	}
+
+	// Warm the client plumbing for a stable goroutine baseline.
+	if status, _ := post[FANNResponse](t, h.ts.URL+"/fann", reqs[0]); status != http.StatusOK {
+		t.Fatalf("warmup status %d", status)
+	}
+	baseline := runtime.NumGoroutine()
+
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		served   atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Pointer[string]
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		msg := fmt.Sprintf(format, args...)
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+	client := h.ts.Client()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qi := (w + i) % nq
+				raw, _ := json.Marshal(reqs[qi])
+				resp, err := client.Post(h.ts.URL+"/fann", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					fail("worker %d: %v", w, err)
+					return
+				}
+				var body FANNResponse
+				derr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if derr != nil {
+					fail("worker %d: decode: %v", w, derr)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail("worker %d: status %d", w, resp.StatusCode)
+					return
+				}
+				if len(body.Answers) != 1 || math.Abs(body.Answers[0].Dist-wants[qi].Dist) > 1e-6 {
+					fail("worker %d query %d: answers %+v, want dist %v", w, qi, body.Answers, wants[qi].Dist)
+					return
+				}
+				served.Add(1)
+			}
+		}(w)
+	}
+
+	const swaps = 25
+	var lastGen uint64
+	for i := 0; i < swaps; i++ {
+		st, rr := postReload(t, h.ts.URL)
+		if st != http.StatusOK {
+			t.Errorf("swap %d: status %d body %+v", i, st, rr)
+			break
+		}
+		lastGen = rr.Indexes["phl"].Generation
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if failures.Load() > 0 {
+		t.Fatalf("%d failed responses during the storm; first: %s", failures.Load(), *firstErr.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("storm served no queries")
+	}
+	if lastGen != swaps+1 {
+		t.Fatalf("final generation %d, want %d (initial + %d swaps)", lastGen, swaps+1, swaps)
+	}
+
+	// Wind down: the server's reference drops, stragglers drain, and every
+	// generation that was ever loaded must close — no leaked mappings.
+	h.ts.Close()
+	h.srv.CloseIndexes()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		loads, closes := h.loads.Load(), h.closes.Load()
+		if loads == closes && loads >= swaps+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mappings leaked: %d loads, %d closes", loads, closes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines %d, baseline %d — leak after the storm", runtime.NumGoroutine(), baseline)
+}

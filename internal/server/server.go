@@ -29,6 +29,7 @@ import (
 
 	"fannr/internal/core"
 	"fannr/internal/graph"
+	"fannr/internal/lifecycle"
 	"fannr/internal/obs"
 	"fannr/internal/qcache"
 	"fannr/internal/resil"
@@ -171,6 +172,15 @@ type Server struct {
 	// the two are never double-counted. Written only before freeze (New,
 	// RegisterIndex, RegisterIndexBytes).
 	indexSizes map[string]indexSize
+	// reload holds the hot-swappable indexes (AddReloadable) by index
+	// name; engineIndex maps each reloadable engine name to its index.
+	// Both are frozen with the pools map, so the request path reads them
+	// lock-free.
+	reload      map[string]*reloadable
+	engineIndex map[string]string
+	// ranges registers every live index mapping so the fault guard can
+	// attribute SIGBUS page-ins to the index that owns the page.
+	ranges *lifecycle.Ranges
 }
 
 // indexSize splits an index's footprint by where the bytes live.
@@ -202,6 +212,9 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 		logger:           opts.Logger,
 		pprof:            opts.Pprof,
 		indexSizes:       map[string]indexSize{},
+		reload:           map[string]*reloadable{},
+		engineIndex:      map[string]string{},
+		ranges:           lifecycle.NewRanges(),
 	}
 	if sized, ok := opts.PHL.(memorySized); ok {
 		sz := indexSize{heap: sized.MemoryBytes()}
@@ -234,7 +247,7 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 	}
 	if opts.BatchWindow > 0 {
 		s.batcher = qcache.NewBatcher(opts.BatchWindow, opts.BatchMax,
-			func(name string) qcache.EngineSource { return s.pools[name] },
+			s.batchSource,
 			func(n int) {
 				if m := s.metrics; m != nil && m.batchSize != nil {
 					m.batchSize.Observe(float64(n))
@@ -322,6 +335,9 @@ func (s *Server) AddEngine(name string, factory core.EngineFactory) error {
 	if _, dup := s.pools[name]; dup {
 		return fmt.Errorf("server: engine %q already registered", name)
 	}
+	if _, dup := s.engineIndex[name]; dup {
+		return fmt.Errorf("server: engine %q already registered", name)
+	}
 	s.pools[name] = core.NewBoundedEnginePool(name, s.poolCapacity(), s.limits, factory)
 	s.breakers[name] = s.newBreaker()
 	return nil
@@ -353,13 +369,17 @@ func (s *Server) RegisterIndexBytes(name string, bytes int64) error {
 	return s.RegisterIndex(name, bytes, 0)
 }
 
-// Engines lists the registered engine names, sorted. Callers wiring a
-// fallback ladder can validate it against this set before serving.
+// Engines lists the registered engine names — static pools and
+// reloadable engines — sorted. Callers wiring a fallback ladder can
+// validate it against this set before serving.
 func (s *Server) Engines() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.pools))
+	names := make([]string, 0, len(s.pools)+len(s.engineIndex))
 	for name := range s.pools {
+		names = append(names, name)
+	}
+	for name := range s.engineIndex {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -376,10 +396,10 @@ func (s *Server) SetFallback(ladder map[string]string) error {
 		return errors.New("server: SetFallback after Handler — configuration is frozen once serving starts")
 	}
 	for from, to := range ladder {
-		if _, ok := s.pools[from]; !ok {
+		if !s.hasEngine(from) {
 			return fmt.Errorf("server: fallback source %q is not a registered engine", from)
 		}
-		if _, ok := s.pools[to]; !ok {
+		if !s.hasEngine(to) {
 			return fmt.Errorf("server: fallback target %q is not a registered engine", to)
 		}
 	}
@@ -418,6 +438,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /meta", s.handleMeta)
 	mux.HandleFunc("POST /fann", s.handleFANN)
 	mux.HandleFunc("POST /dist", s.handleDist)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -464,14 +485,21 @@ type ErrorResponse struct {
 // The taxonomy: malformed or semantically invalid requests are the
 // client's fault (400/413); a well-formed query with no answer is 404; a
 // request shed by admission control or an open breaker is 503, the one
-// retryable server-fault class; a query that outlived its deadline or
-// its client is 504; everything unexpected — including handler panics —
-// is a 500, never blamed on the client.
+// retryable server-fault class — a quarantined or mid-swap index adds
+// the sibling codes "index_fault" (the request that hit the rotted page)
+// and "overloaded" (requests racing the quarantine); a query that
+// outlived its deadline or its client is 504; everything unexpected —
+// including handler panics — is a 500, never blamed on the client.
 func errStatus(err error) (int, string) {
 	var tooBig *http.MaxBytesError
+	var ifault *lifecycle.IndexFault
 	switch {
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.As(err, &ifault):
+		return http.StatusServiceUnavailable, "index_fault"
+	case errors.Is(err, lifecycle.ErrUnavailable):
+		return http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, core.ErrInvalid):
 		return http.StatusBadRequest, "invalid"
 	case errors.Is(err, core.ErrNoResult):
@@ -499,14 +527,19 @@ func fail(w http.ResponseWriter, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }
 
-// shed answers 503 "overloaded" with the server's Retry-After hint — the
-// load-shedding response for saturated pools and fully-open ladders.
-func (s *Server) shed(w http.ResponseWriter, err error) {
+// retryAfterHeader attaches the server's Retry-After hint to a 503.
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
 	secs := int(s.retryAfter.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// shed answers 503 "overloaded" with the server's Retry-After hint — the
+// load-shedding response for saturated pools and fully-open ladders.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	s.retryAfterHeader(w)
 	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: "overloaded"})
 }
 
@@ -532,14 +565,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleReadyz is readiness: 503 while draining or while any engine's
-// breaker is open (the server answers, but degraded), naming the broken
-// pools so operators see which engine tripped.
+// handleReadyz is readiness: 503 while draining, while any engine's
+// breaker is open, or while any reloadable index is quarantined (the
+// server answers, but degraded), naming the broken pools and evicted
+// indexes so operators see exactly what tripped.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	open := map[string]string{}
 	for name, b := range s.breakers {
 		if st := b.State(); st != resil.Closed {
 			open[name] = st.String()
+		}
+	}
+	quarantined := map[string]string{}
+	for name, r := range s.reload {
+		if st := r.holder.State(); !st.Live {
+			reason := st.Reason
+			if reason == "" {
+				reason = "no generation loaded"
+			}
+			quarantined[name] = reason
 		}
 	}
 	cache := map[string]any{"enabled": s.qc != nil}
@@ -550,11 +594,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "draining", "breakers": open, "cache": cache,
+			"status": "draining", "breakers": open, "quarantined": quarantined, "cache": cache,
 		})
-	case len(open) > 0:
+	case len(open) > 0 || len(quarantined) > 0:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "degraded", "breakers": open, "cache": cache,
+			"status": "degraded", "breakers": open, "quarantined": quarantined, "cache": cache,
 		})
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "cache": cache})
@@ -581,10 +625,9 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 		v, _ := s.reg.Value(name, labels...)
 		return int64(v)
 	}
-	names := make([]string, 0, len(s.pools))
-	poolStats := make(map[string]map[string]any, len(s.pools))
-	for name := range s.pools {
-		names = append(names, name)
+	names := s.Engines()
+	poolStats := make(map[string]map[string]any, len(names))
+	for _, name := range names {
 		el := obs.L("engine", name)
 		state, _ := s.reg.Value(mBreakerState, el)
 		poolStats[name] = map[string]any{
@@ -612,12 +655,37 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 	}
 	// Index sizes are read back from the gauge like everything else so
 	// /meta and /metrics cannot disagree. Each index reports heap and
-	// mmap-backed bytes separately (they never overlap) plus their sum.
-	indexes := make(map[string]map[string]int64, len(s.indexSizes))
+	// mmap-backed bytes separately (they never overlap) plus their sum;
+	// reloadable indexes add lifecycle state and file provenance so
+	// operators can tell which artifact generation is actually serving.
+	indexes := make(map[string]any, len(s.indexSizes)+len(s.reload))
 	for name := range s.indexSizes {
 		heap := val(mIndexBytes, obs.L("index", name), obs.L("mem", "heap"))
 		mapped := val(mIndexBytes, obs.L("index", name), obs.L("mem", "mapped"))
-		indexes[name] = map[string]int64{"heap": heap, "mapped": mapped, "total": heap + mapped}
+		indexes[name] = map[string]any{"heap": heap, "mapped": mapped, "total": heap + mapped}
+	}
+	for name, rl := range s.reload {
+		heap := val(mIndexBytes, obs.L("index", name), obs.L("mem", "heap"))
+		mapped := val(mIndexBytes, obs.L("index", name), obs.L("mem", "mapped"))
+		st := rl.holder.State()
+		entry := map[string]any{
+			"heap": heap, "mapped": mapped, "total": heap + mapped,
+			"generation": st.Generation, "quarantined": st.Quarantined,
+			"reloads": st.Reloads, "reload_failures": st.ReloadFailures,
+			"faults": st.Faults, "reloadable": true,
+		}
+		if st.Reason != "" {
+			entry["quarantine_reason"] = st.Reason
+		}
+		if p := rl.prov.Load(); p != nil {
+			entry["path"] = p.Path
+			entry["file_bytes"] = p.Bytes
+			entry["file_mtime"] = p.ModTime.UTC().Format(time.RFC3339)
+			if p.Family != "" {
+				entry["format"] = fmt.Sprintf("%s v%d", p.Family, p.Version)
+			}
+		}
+		indexes[name] = entry
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": s.g.Name(),
@@ -746,7 +814,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	if engineName == "" {
 		engineName = "INE"
 	}
-	if _, ok := s.pools[engineName]; !ok {
+	if !s.hasEngine(engineName) {
 		failq(invalidf("unknown engine %q (see /meta)", engineName))
 		return
 	}
@@ -771,7 +839,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		s.shed(w, fmt.Errorf("engine %q unavailable: breaker open and no closed fallback", engineName))
 		return
 	}
-	pool, breaker := s.pools[served], s.breakers[served]
+	breaker := s.breakers[served]
 	em := s.metrics.engines[served]
 
 	// Every breaker verdict goes through report, which remembers that one
@@ -813,6 +881,13 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			Engine: served, Algo: algo, Agg: q.Agg, Phi: q.Phi, K: req.K,
 			P: qcache.FingerprintNodes(q.P), Q: qcache.FingerprintNodes(q.Q),
 		}
+		// Reloadable engines stamp the index generation into the key: a
+		// swap naturally invalidates every result computed on the old
+		// index, and coalesced flights never pair queries across
+		// generations.
+		if gen := s.engineGeneration(served); gen != 0 {
+			rkey.Engine = fmt.Sprintf("%s@%d", served, gen)
+		}
 	}
 
 	// Exact result hit: answer without an engine checkout. The breaker is
@@ -841,16 +916,30 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	// flight leader on behalf of coalesced followers. When batching is on
 	// the checkout is delegated to the batch executor, which amortizes
 	// one admission across every query sharing (engine, Q) in the window.
-	runQuery := func() ([]core.Answer, error) {
+	runQuery := func() (answers []core.Answer, err error) {
+		// Arm fault containment first (LIFO: its recover runs last, after
+		// engine cleanup and pin release). Everything below may touch a
+		// mapped index — engine factories inside Acquire as well as the
+		// dispatch itself — and a SIGBUS on a rotted page must become a
+		// classified error plus a quarantine, not a dead process.
+		defer s.ranges.Guard(s.noteIndexFault)(&err)
+
 		if s.batcher != nil && accel {
 			endCompute := tr.Start("compute")
 			computeStart := time.Now()
-			answers, err := s.batcher.Do(ctx, qcache.BatchKey{Engine: served, Q: rkey.Q}, func(gp core.GPhi) ([]core.Answer, error) {
+			answers, err = s.batcher.Do(ctx, qcache.BatchKey{Engine: served, Q: rkey.Q}, func(gp core.GPhi) (banswers []core.Answer, berr error) {
+				// Tasks run on the flush goroutine, whose panic-on-fault
+				// state is independent of ours: arm its guard separately.
+				defer s.ranges.Guard(s.noteIndexFault)(&berr)
 				stop := q.BindContext(ctx)
 				defer stop()
 				eng := s.qc.Wrap(gp) // nil-safe: gp unchanged when caching is off
 				core.BindStats(eng, stats)
-				defer core.BindStats(gp, nil)
+				core.BindCancel(eng, ctx.Done())
+				defer func() {
+					core.BindStats(gp, nil)
+					core.BindCancel(gp, nil)
+				}()
 				return s.dispatch(req.Algo, eng, q, req.K)
 			})
 			endCompute()
@@ -864,8 +953,20 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		}
 
 		// Bounded admission: wait in the pool's queue up to the deadline;
-		// saturation beyond the queue sheds with 503 + Retry-After.
+		// saturation beyond the queue sheds with 503 + Retry-After. For a
+		// reloadable engine the checkout pins the index generation — the
+		// pin releases last (LIFO), after the engine is back in the
+		// generation's pool, and is what keeps the mapping alive while
+		// this request computes, no matter how many swaps land meanwhile.
 		endAdmit := tr.Start("admit")
+		pool, pin, err := s.checkout(served)
+		if err != nil {
+			endAdmit()
+			return nil, err
+		}
+		if pin != nil {
+			defer pin.Release()
+		}
 		gp, err := pool.Acquire(ctx)
 		endAdmit()
 		if err != nil {
@@ -891,15 +992,16 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			eng = s.qc.Wrap(gp)
 		}
 		core.BindStats(eng, stats)
+		core.BindCancel(eng, ctx.Done())
 
 		computeStart := time.Now()
 		endCompute := tr.Start("compute")
-		var answers []core.Answer
 		completed := false
 		defer func() {
 			em.flush(stats)
 			if completed {
 				core.BindStats(gp, nil)
+				core.BindCancel(gp, nil)
 				pool.Release(gp)
 				pool.PutScratch(scr)
 				return
@@ -957,6 +1059,20 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			outcome = "overloaded"
 			s.shed(w, err)
 			return
+		}
+		// A checkout that raced a quarantine (the holder refused a pin) is
+		// retryable exactly like saturation: the next request routes down
+		// the ladder. The request that hit the fault itself answers 503
+		// "index_fault", also with a Retry-After — after the quarantine
+		// the ladder serves, and after a reload the index is back.
+		if errors.Is(err, lifecycle.ErrUnavailable) {
+			outcome = "overloaded"
+			s.shed(w, err)
+			return
+		}
+		var ifault *lifecycle.IndexFault
+		if errors.As(err, &ifault) {
+			s.retryAfterHeader(w)
 		}
 		if errors.Is(err, core.ErrCanceled) {
 			// Attribute the abort: a server-side deadline is a 504 the
@@ -1018,8 +1134,11 @@ func detachSubsets(answers []core.Answer) {
 // open.
 func (s *Server) routeEngine(requested string) (served string, degraded, probe, ok bool) {
 	name := requested
-	for hops := 0; hops <= len(s.pools); hops++ {
-		if _, exists := s.pools[name]; exists {
+	for hops := 0; hops <= len(s.pools)+len(s.engineIndex); hops++ {
+		// A quarantined (or mid-initial-load) reloadable index skips its
+		// engines entirely — same degrade semantics as an open breaker,
+		// but gated on the index's lifecycle state, not failure counts.
+		if s.hasEngine(name) && s.engineAvailable(name) {
 			if admitted, isProbe := s.breakers[name].Admit(); admitted {
 				return name, name != requested, isProbe, true
 			}
