@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke chaos chaos-load bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard bench-load
+.PHONY: verify build test vet race race-full fuzz-smoke chaos chaos-load explain-smoke bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard bench-load bench-trend
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -21,12 +21,19 @@ vet:
 ## (engine pools, HTTP server, parallel index builds, workload draws) plus
 ## the cross-engine differential harness. Heavy cases are trimmed via
 ## -short; drop it for the full hammer.
-race:
+race: explain-smoke
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
 		./internal/resil/... ./internal/gtree/... ./internal/ch/... \
 		./internal/par/... ./internal/workload/... ./internal/difftest/... \
 		./internal/obs/... ./internal/qcache/... ./internal/lifecycle/... \
 		./internal/phl/... ./internal/sp/... ./internal/rtree/...
+
+## Explain/observability smoke under the race detector: the nine-engine
+## span-vs-counter invariant, slow-query capture with exemplar linkage,
+## the slow-log hammer, and the trace-disabled zero-alloc guard.
+explain-smoke:
+	$(GO) test -race -run 'TestExplain|TestSlowLog|TestExemplar|TestObserveEx|TestTrace' \
+		./internal/server/ ./internal/obs/ ./internal/core/
 
 ## Race detector over everything, full-size tests (slow).
 race-full:
@@ -109,3 +116,16 @@ bench-guard:
 ## run. Builds ~225 MB of indexes in a temp dir first (a few minutes).
 bench-load:
 	$(GO) run ./cmd/fannr-bench -load BENCH_PR7.json -scale 0.0625
+
+## Benchmark trend gate: rerun the headline set and diff it against the
+## checked-in BENCH_PR9.json with same-run ratio normalization (each
+## algorithm's p50 over its own run's geometric mean, so uniform host
+## noise cancels). Fails on >10% normalized regressions or op-count
+## growth on the identical workload. 16 queries per algorithm keeps the
+## quantiles stable on a noisy 1-CPU host (8 is not enough: the
+## heavyweight algorithms' p50 swings >2x run-to-run). Refresh the
+## baseline (copy BENCH_TREND.json over BENCH_PR9.json) when a PR
+## changes performance on purpose.
+bench-trend:
+	$(GO) run ./cmd/fannr-bench -json BENCH_TREND.json -queries 16
+	$(GO) run ./cmd/fannr-bench -compare BENCH_PR9.json BENCH_TREND.json

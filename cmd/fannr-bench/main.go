@@ -38,8 +38,20 @@ func main() {
 		hotOut   = flag.String("hotpath", "", "write the hot-path benchmark report (batched vs per-pair distance lookups per engine) to this file and exit")
 		loadOut  = flag.String("load", "", "write the index load benchmark report (time-to-first-query, heap vs zero-copy mmap, same-run ratio) to this file and exit")
 		guardIn  = flag.String("guard", "", "run the hot-path benchmark and fail if any IER engine's batched cold p50 AND same-run speedup both regress >10% against this baseline report")
+		compare  = flag.Bool("compare", false, "compare two -json reports (old.json new.json as positional args) with same-run ratio normalization; exit non-zero on >10% normalized regressions")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "fannr-bench: -compare needs exactly two positional args: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareBenchReports(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "fannr-bench: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range fannr.ExperimentIDs() {
 			fmt.Println(id)
@@ -90,7 +102,7 @@ func main() {
 		return
 	}
 	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache, -hotpath, -load, -guard)")
+		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache, -hotpath, -load, -guard, -compare)")
 		os.Exit(2)
 	}
 	ids := []string{*expID}
@@ -120,6 +132,45 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// compareBenchReports diffs two -json reports. Latency is judged on
+// same-run normalized ratios (each algorithm's p50 over its run's
+// geometric mean), so host-speed noise between the two runs cancels;
+// deterministic op counts are compared near-absolutely when the
+// workloads match. Exits through an error on >10% normalized regression.
+func compareBenchReports(oldPath, newPath string) error {
+	read := func(path string) (*fannr.BenchReport, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r fannr.BenchReport
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return &r, nil
+	}
+	oldR, err := read(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := read(newPath)
+	if err != nil {
+		return err
+	}
+	cmp := fannr.CompareBench(oldR, newR, 0.10)
+	for _, line := range cmp.Lines {
+		fmt.Println(line)
+	}
+	if len(cmp.Violations) > 0 {
+		for _, v := range cmp.Violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		return fmt.Errorf("%d trend violation(s) between %s and %s", len(cmp.Violations), oldPath, newPath)
+	}
+	fmt.Printf("[bench trend clean: %s → %s]\n", oldPath, newPath)
+	return nil
 }
 
 // writeBenchJSON runs the headline benchmark set and writes the report.

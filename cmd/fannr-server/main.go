@@ -100,6 +100,7 @@ type config struct {
 	coalesce         bool
 	batchWindow      time.Duration
 	batchMax         int
+	slowLog          int
 }
 
 func main() {
@@ -127,6 +128,7 @@ func main() {
 	flag.BoolVar(&cfg.coalesce, "coalesce", true, "collapse concurrent identical /fann queries onto one computation")
 	flag.DurationVar(&cfg.batchWindow, "batch-window", 0, "hold /fann queries up to this long to batch same-Q queries onto one engine checkout (0 = disabled)")
 	flag.IntVar(&cfg.batchMax, "batch-max", 32, "max queries per batch before an early flush")
+	flag.IntVar(&cfg.slowLog, "slow-log", 64, "traces retained at /debug/slow: the N slowest requests plus the N most recent errored/degraded ones")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fannr-server:", err)
@@ -269,6 +271,7 @@ func run(cfg config) error {
 		Coalesce:         cfg.coalesce,
 		BatchWindow:      cfg.batchWindow,
 		BatchMax:         cfg.batchMax,
+		SlowLogEntries:   cfg.slowLog,
 	}
 	if cfg.logRequests {
 		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))

@@ -377,6 +377,10 @@ type (
 	// -load emits: heap vs zero-copy mmap load latency per index, as a
 	// same-run ratio.
 	LoadReport = exp.LoadReport
+	// BenchComparison is the trend diff of two -json bench reports
+	// (fannr-bench -compare): per-algorithm lines plus CI-failing
+	// violations.
+	BenchComparison = exp.BenchComparison
 )
 
 // RunExperiment regenerates one of the paper's figures or tables by id
@@ -419,4 +423,13 @@ func RunLoadBench(cfg ExpConfig) (*LoadReport, error) { return exp.RunLoadBench(
 // open at least minSpeedup× faster mmapped than heap-deserialized.
 func GuardLoad(report *LoadReport, minSpeedup float64) []string {
 	return exp.GuardLoad(report, minSpeedup)
+}
+
+// CompareBench diffs two fannr-bench -json reports with same-run ratio
+// normalization (each algorithm's p50 relative to its own run's
+// geometric mean), so uniform host-speed noise cancels and only
+// shape changes — one algorithm slowing relative to its peers, or op
+// counts growing on an identical workload — count as regressions.
+func CompareBench(old, current *BenchReport, tolerance float64) BenchComparison {
+	return exp.CompareBench(old, current, tolerance)
 }

@@ -20,6 +20,8 @@ func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if q.Agg != Sum {
 		return Answer{}, fmt.Errorf("%w: APXSum requires the sum aggregate, got %v", ErrInvalid, q.Agg)
 	}
+	ts := q.startSpan("algo:apxsum")
+	defer ts.end()
 	pSet := q.countSet(g.NumNodes())
 	pSet.AddAll(q.P)
 	seen := q.seenSet(g.NumNodes())
@@ -42,7 +44,8 @@ func APXSum(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if len(candidates) == 0 {
 		return Answer{}, ErrNoResult
 	}
-	return GD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel, Stats: q.Stats, Scratch: q.Scratch})
+	ts.attr("candidates", len(candidates))
+	return GD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel, Stats: q.Stats, Scratch: q.Scratch, Trace: q.Trace})
 }
 
 // APXSumRatioBound returns the proven worst-case approximation ratio for a

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"fannr/internal/graph"
+	"fannr/internal/obs"
 )
 
 // Aggregate selects the aggregate function g.
@@ -75,6 +76,12 @@ type Query struct {
 	// Subset may then alias Scratch memory — copy it before running
 	// another query with the same Scratch if you retain answers.
 	Scratch *Scratch
+	// Trace, when non-nil, receives one hierarchical span per algorithm
+	// invocation (nested for delegating algorithms like APX-sum → GD),
+	// annotated with the Stats deltas the span's own work produced. Nil
+	// disables tracing at the cost of one pointer test per invocation —
+	// the per-operation hot loops never touch it.
+	Trace *obs.Trace
 }
 
 // canceled polls the optional cancel hook.

@@ -23,6 +23,8 @@ func ExactMax(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if q.Agg != Max {
 		return Answer{}, fmt.Errorf("%w: ExactMax requires the max aggregate, got %v", ErrInvalid, q.Agg)
 	}
+	ts := q.startSpan("algo:exactmax")
+	defer ts.end()
 	k := q.K()
 	pool := newExpanderPool(g, q)
 	if q.Stats != nil {

@@ -14,6 +14,8 @@ func GD(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if err := q.Validate(g); err != nil {
 		return Answer{}, err
 	}
+	ts := q.startSpan("algo:gd")
+	defer ts.end()
 	k := q.K()
 	gp.Reset(q.Q)
 	best := Answer{P: -1, Dist: math.Inf(1)}

@@ -173,6 +173,8 @@ func IERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, opts IEROptions) 
 	if err := q.Validate(g); err != nil {
 		return Answer{}, err
 	}
+	ts := q.startSpan("algo:ierknn")
+	defer ts.end()
 	k := q.K()
 	gp.Reset(q.Q)
 	s := newIERSearch(g, rtP, q, opts)

@@ -26,6 +26,9 @@ func KAPXSum(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	if q.Agg != Sum {
 		return nil, fmt.Errorf("%w: KAPXSum requires the sum aggregate, got %v", ErrInvalid, q.Agg)
 	}
+	ts := q.startSpan("algo:kapxsum")
+	defer ts.end()
+	ts.attr("top_k", kAns)
 	pSet := graph.NewNodeSet(g.NumNodes())
 	pSet.AddAll(q.P)
 	seen := graph.NewNodeSet(g.NumNodes())
@@ -45,9 +48,14 @@ func KAPXSum(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 				candidates = append(candidates, nb.Node)
 			}
 		}
+		q.Stats.CountSettled(e.NodesScanned())
 	}
 	if len(candidates) == 0 {
 		return nil, ErrNoResult
 	}
-	return KGD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel}, kAns)
+	ts.attr("candidates", len(candidates))
+	// The delegated scan must inherit Stats, Scratch and Trace: dropping
+	// them here once left the ranking phase's evals unattributed (invisible
+	// to /metrics and the explain report).
+	return KGD(g, gp, Query{P: candidates, Q: q.Q, Phi: q.Phi, Agg: q.Agg, Cancel: q.Cancel, Stats: q.Stats, Scratch: q.Scratch, Trace: q.Trace}, kAns)
 }

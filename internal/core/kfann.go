@@ -74,6 +74,9 @@ func KGD(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
+	ts := q.startSpan("algo:kgd")
+	defer ts.end()
+	ts.attr("top_k", kAns)
 	k := q.K()
 	gp.Reset(q.Q)
 	top := newTopK(kAns)
@@ -98,6 +101,9 @@ func KRList(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
+	ts := q.startSpan("algo:krlist")
+	defer ts.end()
+	ts.attr("top_k", kAns)
 	k := q.K()
 	gp.Reset(q.Q)
 	pool := newExpanderPool(g, q)
@@ -141,6 +147,9 @@ func KIERKNN(g *graph.Graph, rtP *rtree.Tree, gp GPhi, q Query, kAns int, opts I
 	if err := validateK(g, &q, kAns); err != nil {
 		return nil, err
 	}
+	ts := q.startSpan("algo:kierknn")
+	defer ts.end()
+	ts.attr("top_k", kAns)
 	k := q.K()
 	gp.Reset(q.Q)
 	s := newIERSearch(g, rtP, q, opts)
@@ -176,6 +185,9 @@ func KExactMax(g *graph.Graph, gp GPhi, q Query, kAns int) ([]Answer, error) {
 	if q.Agg != Max {
 		return nil, fmt.Errorf("%w: KExactMax requires the max aggregate, got %v", ErrInvalid, q.Agg)
 	}
+	ts := q.startSpan("algo:kexactmax")
+	defer ts.end()
+	ts.attr("top_k", kAns)
 	k := q.K()
 	pool := newExpanderPool(g, q)
 	if q.Stats != nil {

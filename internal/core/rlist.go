@@ -88,6 +88,8 @@ func RList(g *graph.Graph, gp GPhi, q Query) (Answer, error) {
 	if err := q.Validate(g); err != nil {
 		return Answer{}, err
 	}
+	ts := q.startSpan("algo:rlist")
+	defer ts.end()
 	k := q.K()
 	gp.Reset(q.Q)
 	pool := newExpanderPool(g, q)

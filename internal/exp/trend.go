@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BenchComparison is the outcome of diffing two fannr-bench -json
+// reports: one human-readable trend line per common algorithm, plus the
+// violations that should fail CI.
+type BenchComparison struct {
+	Lines      []string
+	Violations []string
+}
+
+// CompareBench diffs two benchmark reports with same-run ratio
+// normalization. Raw wall-clock between two runs on a shared, noisy host
+// moves ±20% for reasons that have nothing to do with the code (see the
+// bench-trend docs), so each algorithm's p50 is first normalized by the
+// geometric mean p50 of the common algorithm set WITHIN ITS OWN RUN.
+// The normalized value is a pure shape signal — "how expensive is this
+// algorithm relative to the others in the same process" — and is stable
+// across host noise: uniform slowdowns cancel exactly. A violation is a
+// normalized-ratio regression beyond tolerance (0.10 = 10%).
+//
+// Operation counts are deterministic given an identical workload, so
+// when the two reports ran the same (dataset, scale, queries, seed) the
+// op counts are compared near-absolutely (1% slack for tie-breaking
+// nondeterminism) — an eval-count growth is a real algorithmic
+// regression no amount of host noise explains.
+func CompareBench(oldR, newR *BenchReport, tolerance float64) BenchComparison {
+	var c BenchComparison
+	oldBy := map[string]AlgoBench{}
+	for _, a := range oldR.Algos {
+		oldBy[a.Name] = a
+	}
+	var common []string
+	newBy := map[string]AlgoBench{}
+	for _, a := range newR.Algos {
+		newBy[a.Name] = a
+		if _, ok := oldBy[a.Name]; ok {
+			common = append(common, a.Name)
+		}
+	}
+	sort.Strings(common)
+	if len(common) == 0 {
+		c.Violations = append(c.Violations, "no common algorithms between reports")
+		return c
+	}
+
+	oldNorm := geomeanP50(oldBy, common)
+	newNorm := geomeanP50(newBy, common)
+	if oldNorm <= 0 || newNorm <= 0 {
+		c.Violations = append(c.Violations, "degenerate p50 samples (zero geometric mean)")
+		return c
+	}
+
+	sameWorkload := oldR.Dataset == newR.Dataset && oldR.Scale == newR.Scale &&
+		oldR.Queries == newR.Queries && oldR.Seed == newR.Seed
+	if !sameWorkload {
+		c.Lines = append(c.Lines, fmt.Sprintf(
+			"workloads differ (old %s×%.4g q=%d seed=%d, new %s×%.4g q=%d seed=%d): op counts not compared",
+			oldR.Dataset, oldR.Scale, oldR.Queries, oldR.Seed,
+			newR.Dataset, newR.Scale, newR.Queries, newR.Seed))
+	}
+
+	for _, name := range common {
+		o, n := oldBy[name], newBy[name]
+		oldRatio := float64(o.P50Micros) / oldNorm
+		newRatio := float64(n.P50Micros) / newNorm
+		change := newRatio/oldRatio - 1
+		c.Lines = append(c.Lines, fmt.Sprintf(
+			"%-10s p50 %6dµs → %6dµs  normalized %.3f → %.3f  (%+.1f%%)",
+			name, o.P50Micros, n.P50Micros, oldRatio, newRatio, change*100))
+		if change > tolerance {
+			c.Violations = append(c.Violations, fmt.Sprintf(
+				"%s: normalized p50 ratio regressed %.1f%% (%.3f → %.3f, tolerance %.0f%%)",
+				name, change*100, oldRatio, newRatio, tolerance*100))
+		}
+		if !sameWorkload {
+			continue
+		}
+		for _, op := range []struct {
+			what     string
+			old, new int64
+		}{
+			{"gphi_evals", o.Ops.GPhiEvals, n.Ops.GPhiEvals},
+			{"gphi_subsets", o.Ops.GPhiSubsets, n.Ops.GPhiSubsets},
+			{"heap_pops", o.Ops.HeapPops, n.Ops.HeapPops},
+			{"settled", o.Ops.Settled, n.Ops.Settled},
+		} {
+			if op.old == 0 {
+				continue
+			}
+			growth := float64(op.new-op.old) / float64(op.old)
+			if growth > 0.01 {
+				c.Violations = append(c.Violations, fmt.Sprintf(
+					"%s: %s grew %.1f%% (%d → %d) on an identical workload",
+					name, op.what, growth*100, op.old, op.new))
+			}
+		}
+	}
+	return c
+}
+
+// geomeanP50 is the geometric mean p50 over names (0 if any sample is
+// non-positive, which callers treat as degenerate).
+func geomeanP50(by map[string]AlgoBench, names []string) float64 {
+	sum := 0.0
+	for _, name := range names {
+		p := float64(by[name].P50Micros)
+		if p <= 0 {
+			return 0
+		}
+		sum += math.Log(p)
+	}
+	return math.Exp(sum / float64(len(names)))
+}

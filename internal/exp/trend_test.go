@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func trendReport(p50s map[string]int64, evals map[string]int64) *BenchReport {
+	r := &BenchReport{Dataset: "NW", Scale: 0.0625, Queries: 8, Seed: 1}
+	for _, name := range []string{"GD", "R-List", "IER-kNN"} {
+		r.Algos = append(r.Algos, AlgoBench{
+			Name: name, Engine: "PHL", Agg: "max",
+			P50Micros: p50s[name],
+			Ops:       OpCounts{GPhiEvals: evals[name], Settled: 100},
+		})
+	}
+	return r
+}
+
+// A uniform slowdown — every algorithm 2× slower, the signature of a
+// noisy shared host — must NOT fire: normalized ratios are unchanged.
+func TestCompareBenchUniformSlowdownIsClean(t *testing.T) {
+	evals := map[string]int64{"GD": 50, "R-List": 40, "IER-kNN": 30}
+	old := trendReport(map[string]int64{"GD": 100, "R-List": 200, "IER-kNN": 400}, evals)
+	cur := trendReport(map[string]int64{"GD": 200, "R-List": 400, "IER-kNN": 800}, evals)
+	cmp := CompareBench(old, cur, 0.10)
+	if len(cmp.Violations) != 0 {
+		t.Fatalf("uniform 2x slowdown flagged: %v", cmp.Violations)
+	}
+	if len(cmp.Lines) != 3 {
+		t.Fatalf("want one trend line per algorithm, got %v", cmp.Lines)
+	}
+}
+
+// One algorithm slowing relative to its peers IS a regression, even if
+// absolute numbers look plausible.
+func TestCompareBenchShapeRegressionFires(t *testing.T) {
+	evals := map[string]int64{"GD": 50, "R-List": 40, "IER-kNN": 30}
+	old := trendReport(map[string]int64{"GD": 100, "R-List": 200, "IER-kNN": 400}, evals)
+	cur := trendReport(map[string]int64{"GD": 180, "R-List": 200, "IER-kNN": 400}, evals)
+	cmp := CompareBench(old, cur, 0.10)
+	if len(cmp.Violations) == 0 {
+		t.Fatal("GD slowing 80% relative to peers not flagged")
+	}
+	if !strings.Contains(cmp.Violations[0], "GD") {
+		t.Fatalf("violation names wrong algorithm: %v", cmp.Violations)
+	}
+}
+
+// Op-count growth on an identical workload is deterministic evidence —
+// flagged regardless of latency.
+func TestCompareBenchOpCountGrowthFires(t *testing.T) {
+	p50s := map[string]int64{"GD": 100, "R-List": 200, "IER-kNN": 400}
+	old := trendReport(p50s, map[string]int64{"GD": 50, "R-List": 40, "IER-kNN": 30})
+	cur := trendReport(p50s, map[string]int64{"GD": 80, "R-List": 40, "IER-kNN": 30})
+	cmp := CompareBench(old, cur, 0.10)
+	found := false
+	for _, v := range cmp.Violations {
+		if strings.Contains(v, "gphi_evals") && strings.Contains(v, "GD") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gphi_evals growth 50→80 not flagged: %v", cmp.Violations)
+	}
+}
+
+// Different workloads: latency shape is still compared, op counts are
+// skipped (they are incomparable, not wrong).
+func TestCompareBenchWorkloadMismatchSkipsOps(t *testing.T) {
+	old := trendReport(map[string]int64{"GD": 100, "R-List": 200, "IER-kNN": 400},
+		map[string]int64{"GD": 50, "R-List": 40, "IER-kNN": 30})
+	cur := trendReport(map[string]int64{"GD": 100, "R-List": 200, "IER-kNN": 400},
+		map[string]int64{"GD": 9999, "R-List": 40, "IER-kNN": 30})
+	cur.Queries = 100 // a different workload
+	cmp := CompareBench(old, cur, 0.10)
+	if len(cmp.Violations) != 0 {
+		t.Fatalf("mismatched workloads produced op violations: %v", cmp.Violations)
+	}
+	if !strings.Contains(strings.Join(cmp.Lines, "\n"), "workloads differ") {
+		t.Fatalf("mismatch not announced: %v", cmp.Lines)
+	}
+}

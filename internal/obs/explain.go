@@ -1,0 +1,84 @@
+package obs
+
+import "time"
+
+// ReportSpan is one span of an EXPLAIN execution report: offsets and
+// durations in microseconds, attributes, and the span's own op-count
+// deltas (children's counts are reported on the children, so counts are
+// disjoint and sum to the request totals).
+type ReportSpan struct {
+	Name        string           `json:"name"`
+	StartMicros int64            `json:"start_micros"`
+	DurMicros   int64            `json:"dur_micros"`
+	Attrs       map[string]any   `json:"attrs,omitempty"`
+	Counts      map[string]int64 `json:"counts,omitempty"`
+	Children    []*ReportSpan    `json:"children,omitempty"`
+}
+
+// Report is the EXPLAIN-ANALYZE-style execution report for one request:
+// the span tree plus the op-count totals summed over every span. It is
+// what `?explain=1` returns alongside the answer and what the slow-query
+// log retains.
+type Report struct {
+	RequestID string           `json:"request_id"`
+	DurMicros int64            `json:"dur_micros"`
+	Spans     []*ReportSpan    `json:"spans"`
+	Counts    map[string]int64 `json:"counts,omitempty"`
+}
+
+// Report renders the trace into its execution report. Open spans
+// (including the root) report duration as elapsed-so-far. Returns nil
+// for a nil trace.
+func (t *Trace) Report() *Report {
+	if t == nil {
+		return nil
+	}
+	totals := map[string]int64{}
+	rep := &Report{
+		RequestID: t.ID,
+		DurMicros: spanDurMicros(t.root),
+		Spans:     reportChildren(t.root, t.root.Start, totals),
+	}
+	if len(totals) > 0 {
+		rep.Counts = totals
+	}
+	return rep
+}
+
+func spanDurMicros(s *Span) int64 {
+	d := s.Dur
+	if d == 0 {
+		d = time.Since(s.Start)
+	}
+	return d.Microseconds()
+}
+
+func reportChildren(s *Span, epoch time.Time, totals map[string]int64) []*ReportSpan {
+	if len(s.children) == 0 {
+		return nil
+	}
+	out := make([]*ReportSpan, len(s.children))
+	for i, c := range s.children {
+		rs := &ReportSpan{
+			Name:        c.Name,
+			StartMicros: c.Start.Sub(epoch).Microseconds(),
+			DurMicros:   spanDurMicros(c),
+			Children:    reportChildren(c, epoch, totals),
+		}
+		if len(c.attrs) > 0 {
+			rs.Attrs = make(map[string]any, len(c.attrs))
+			for _, a := range c.attrs {
+				rs.Attrs[a.Key] = a.Value
+			}
+		}
+		if len(c.counts) > 0 {
+			rs.Counts = make(map[string]int64, len(c.counts))
+			for _, cd := range c.counts {
+				rs.Counts[cd.Name] += cd.V
+				totals[cd.Name] += cd.V
+			}
+		}
+		out[i] = rs
+	}
+	return out
+}

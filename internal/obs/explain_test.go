@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeNesting(t *testing.T) {
+	tr := NewTrace("req-1")
+	compute := tr.StartSpan("compute")
+	compute.SetAttr("engine", "PHL@3")
+	algo := tr.StartSpan("algo:apxsum")
+	algo.Count("gphi_evals", 10)
+	sub := tr.StartSpan("algo:gd")
+	sub.Count("gphi_evals", 40)
+	sub.End()
+	algo.End()
+	compute.End()
+
+	if got := tr.Root().SubtreeCount("gphi_evals"); got != 50 {
+		t.Fatalf("subtree count = %d, want 50", got)
+	}
+	if got := algo.ChildrenCount("gphi_evals"); got != 40 {
+		t.Fatalf("children count = %d, want 40", got)
+	}
+	if got := algo.CountValue("gphi_evals"); got != 10 {
+		t.Fatalf("self count = %d, want 10", got)
+	}
+	kids := compute.Children()
+	if len(kids) != 1 || kids[0].Name != "algo:apxsum" {
+		t.Fatalf("compute children %+v", kids)
+	}
+	if len(kids[0].Children()) != 1 || kids[0].Children()[0].Name != "algo:gd" {
+		t.Fatalf("algo children %+v", kids[0].Children())
+	}
+	if v, ok := compute.Attr("engine"); !ok || v != "PHL@3" {
+		t.Fatalf("attr = %v %v", v, ok)
+	}
+
+	rep := tr.Report()
+	if rep.RequestID != "req-1" || len(rep.Spans) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Counts["gphi_evals"] != 50 {
+		t.Fatalf("report totals %v", rep.Counts)
+	}
+	if rep.Spans[0].Children[0].Counts["gphi_evals"] != 10 {
+		t.Fatalf("apxsum self count in report %v", rep.Spans[0].Children[0].Counts)
+	}
+	// The report must round-trip as JSON (the ?explain=1 payload).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	sp.SetAttr("k", 1)
+	sp.Count("c", 2)
+	sp.End()
+	if tr.Root() != nil || tr.Report() != nil || sp.CountValue("c") != 0 {
+		t.Fatal("nil trace not inert")
+	}
+	if _, ok := sp.Attr("k"); ok {
+		t.Fatal("nil span attr present")
+	}
+	if sp.SubtreeCount("c") != 0 || sp.ChildrenCount("c") != 0 || sp.Children() != nil {
+		t.Fatal("nil span counts not inert")
+	}
+}
+
+func TestSpanEndTwiceKeepsFirst(t *testing.T) {
+	tr := NewTrace("req-2")
+	sp := tr.StartSpan("a")
+	sp.End()
+	d := sp.Dur
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if sp.Dur != d {
+		t.Fatalf("second End changed Dur: %v -> %v", d, sp.Dur)
+	}
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("span recorded %d times", n)
+	}
+}
+
+func TestSlowLogRetention(t *testing.T) {
+	l := NewSlowLog(3)
+	for i, d := range []int64{10, 50, 20, 5, 80, 30} {
+		l.Record(SlowEntry{RequestID: string(rune('a' + i)), DurMicros: d}, false)
+	}
+	snap := l.Snapshot()
+	if len(snap.Slowest) != 3 {
+		t.Fatalf("slowest len %d", len(snap.Slowest))
+	}
+	got := []int64{snap.Slowest[0].DurMicros, snap.Slowest[1].DurMicros, snap.Slowest[2].DurMicros}
+	if got[0] != 80 || got[1] != 50 || got[2] != 30 {
+		t.Fatalf("slowest durations %v, want [80 50 30]", got)
+	}
+	if _, ok := l.Get("e"); !ok { // the 80µs entry
+		t.Fatal("slowest entry not retrievable by id")
+	}
+	if _, ok := l.Get("d"); ok { // the 5µs entry was never retained
+		t.Fatal("fast entry unexpectedly retained")
+	}
+}
+
+func TestSlowLogErrorRing(t *testing.T) {
+	l := NewSlowLog(2)
+	// Fill the slow set with fast-lane entries so the errored requests
+	// below live only in the error ring (they also compete for the slow
+	// set, but lose to these).
+	l.Record(SlowEntry{RequestID: "s1", DurMicros: 100}, false)
+	l.Record(SlowEntry{RequestID: "s2", DurMicros: 200}, false)
+	l.Record(SlowEntry{RequestID: "e1", Outcome: "error", DurMicros: 1}, true)
+	l.Record(SlowEntry{RequestID: "e2", Outcome: "error", DurMicros: 1}, true)
+	l.Record(SlowEntry{RequestID: "e3", Outcome: "error", DurMicros: 1}, true)
+	snap := l.Snapshot()
+	if len(snap.Errors) != 2 || snap.Errors[0].RequestID != "e3" || snap.Errors[1].RequestID != "e2" {
+		t.Fatalf("error ring %+v", snap.Errors)
+	}
+	if _, ok := l.Get("e1"); ok {
+		t.Fatal("evicted error still retrievable")
+	}
+	if _, ok := l.Get("e3"); !ok {
+		t.Fatal("latest error not retrievable")
+	}
+}
+
+func TestSlowLogNil(t *testing.T) {
+	var l *SlowLog
+	l.Record(SlowEntry{RequestID: "x"}, true)
+	if s := l.Snapshot(); len(s.Slowest) != 0 || len(s.Errors) != 0 {
+		t.Fatal("nil slow log not inert")
+	}
+	if _, ok := l.Get("x"); ok {
+		t.Fatal("nil slow log returned an entry")
+	}
+}
+
+// TestSlowLogConcurrent is the -race hammer: concurrent capture from
+// many writers while readers snapshot and look up ids.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(16)
+	iters := 2000
+	if testing.Short() {
+		iters = 400
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				d := (seed*7919 + int64(i)*104729) % 1000
+				l.Record(SlowEntry{RequestID: NewRequestID(), DurMicros: d, Outcome: "ok"}, i%17 == 0)
+			}
+		}(int64(w))
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/4; i++ {
+				snap := l.Snapshot()
+				for j := 1; j < len(snap.Slowest); j++ {
+					if snap.Slowest[j-1].DurMicros < snap.Slowest[j].DurMicros {
+						t.Error("snapshot not sorted")
+						return
+					}
+				}
+				if len(snap.Slowest) > 0 {
+					l.Get(snap.Slowest[0].RequestID)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(l.Snapshot().Slowest) != 16 {
+		t.Fatalf("slow set not full: %d", len(l.Snapshot().Slowest))
+	}
+}
+
+func TestSlowLogHandler(t *testing.T) {
+	l := NewSlowLog(4)
+	tr := NewTrace("slow-1")
+	tr.StartSpan("compute").End()
+	l.Record(SlowEntry{RequestID: "slow-1", Outcome: "ok", DurMicros: 123, Trace: tr.Report()}, false)
+
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow", nil))
+	var snap SlowSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode snapshot: %v", err)
+	}
+	if len(snap.Slowest) != 1 || snap.Slowest[0].RequestID != "slow-1" {
+		t.Fatalf("snapshot %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow?id=slow-1", nil))
+	var e SlowEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("decode entry: %v", err)
+	}
+	if e.Trace == nil || len(e.Trace.Spans) != 1 || e.Trace.Spans[0].Name != "compute" {
+		t.Fatalf("entry trace %+v", e.Trace)
+	}
+
+	rec = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow?id=nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing id: code %d", rec.Code)
+	}
+}
+
+func TestExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("fannr_test_seconds", "test latency", nil, L("engine", "INE"))
+	h.Observe(0.0002) // untagged — its bucket must render without a suffix
+	h.ObserveEx(0.003, "req-42")
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	text := b.String()
+
+	// The plain scrape must still parse (exemplar suffix stripped) and
+	// agree with the histogram's own counters.
+	sc, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := sc.Value("fannr_test_seconds_count", L("engine", "INE")); !ok || v != 2 {
+		t.Fatalf("count = %v %v", v, ok)
+	}
+
+	exs, err := ParseExemplars(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse exemplars: %v", err)
+	}
+	if len(exs) != 1 {
+		t.Fatalf("exemplar count %d: %v", len(exs), exs)
+	}
+	series := "fannr_test_seconds_bucket" + labelSig([]Label{L("engine", "INE"), L("le", "0.005")})
+	ex, ok := exs[series]
+	if !ok {
+		t.Fatalf("exemplar not on expected bucket: %v", exs)
+	}
+	if ex.RequestID != "req-42" || ex.Value != 0.003 || ex.TS <= 0 {
+		t.Fatalf("exemplar %+v", ex)
+	}
+
+	// Untagged buckets carry no suffix, so a registry that never calls
+	// ObserveEx renders byte-identically to the pre-exemplar format.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, `le="0.00025"`) && strings.Contains(line, exemplarSep) {
+			t.Fatalf("untagged bucket grew a suffix: %q", line)
+		}
+	}
+}
+
+func TestObserveExEmptyID(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveEx(0.001, "")
+	if h.Count() != 1 {
+		t.Fatal("observation lost")
+	}
+	for _, e := range h.bucketExemplars() {
+		if e != nil {
+			t.Fatal("empty id produced an exemplar")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency buckets in seconds, spanning 5µs
@@ -27,6 +28,21 @@ type Histogram struct {
 	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+
+	// exemplars holds the most recent exemplar per bucket (nil until a
+	// request-tagged observation lands there). Stored behind atomic
+	// pointers so observation stays lock-free and exposition reads a
+	// consistent exemplar without tearing.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram bucket to a concrete recent request, so a
+// latency spike on /metrics resolves to a captured trace in the
+// slow-query log instead of an anonymous count.
+type Exemplar struct {
+	RequestID string
+	Value     float64
+	TS        float64 // unix seconds
 }
 
 // NewHistogram returns a histogram with the given ascending bucket upper
@@ -42,7 +58,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -56,6 +76,32 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveEx records one value and tags the bucket it lands in with the
+// request id, replacing that bucket's previous exemplar. An empty id
+// degrades to a plain Observe.
+func (h *Histogram) ObserveEx(v float64, requestID string) {
+	h.Observe(v)
+	if requestID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{
+		RequestID: requestID,
+		Value:     v,
+		TS:        float64(time.Now().UnixNano()) / 1e9,
+	})
+}
+
+// bucketExemplars snapshots the per-bucket exemplars (entries are nil
+// for buckets no tagged observation has reached).
+func (h *Histogram) bucketExemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the number of observations.

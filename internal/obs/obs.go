@@ -333,17 +333,32 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 }
 
 // writeHistogram expands one histogram series into cumulative buckets.
+// Buckets holding an exemplar get an OpenMetrics-style suffix
+// (` # {request_id="..."} value timestamp`); buckets without one render
+// exactly as before, so exemplar-free registries keep the golden format.
 func writeHistogram(b *strings.Builder, name string, labels []Label, h *Histogram) {
 	cum := int64(0)
 	counts := h.bucketCounts()
+	exs := h.bucketExemplars()
 	for i, ub := range h.bounds {
 		cum += counts[i]
-		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelSigWith(labels, "le", formatValue(ub)), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d%s\n", name, labelSigWith(labels, "le", formatValue(ub)), cum, exemplarSuffix(exs[i]))
 	}
 	cum += counts[len(h.bounds)]
-	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelSigWith(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_bucket%s %d%s\n", name, labelSigWith(labels, "le", "+Inf"), cum, exemplarSuffix(exs[len(h.bounds)]))
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelSig(labels), formatValue(h.Sum()))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, labelSig(labels), h.Count())
+}
+
+// exemplarSuffix renders an exemplar in the OpenMetrics form, or ""
+// when the bucket has none.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {request_id=\"%s\"} %s %s",
+		escapeLabel(e.RequestID), formatValue(e.Value),
+		strconv.FormatFloat(e.TS, 'f', 3, 64))
 }
 
 // labelSigWith renders labels plus one extra pair (the histogram "le").

@@ -19,6 +19,8 @@ type Scrape map[string]float64
 // ParseExposition reads Prometheus text format. Comment and blank lines
 // are skipped; every sample line must be "series value" (an optional
 // trailing timestamp is rejected — this server never emits one).
+// OpenMetrics exemplar suffixes (` # {...} value ts`) are stripped
+// before parsing; ParseExemplars reads those.
 func ParseExposition(r io.Reader) (Scrape, error) {
 	out := Scrape{}
 	sc := bufio.NewScanner(r)
@@ -29,6 +31,9 @@ func ParseExposition(r io.Reader) (Scrape, error) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if cut := strings.Index(line, exemplarSep); cut >= 0 {
+			line = strings.TrimSpace(line[:cut])
 		}
 		// The series may contain spaces inside quoted label values, so
 		// split at the last space instead of the first.
@@ -67,4 +72,70 @@ func parseValue(s string) (float64, error) {
 func (s Scrape) Value(name string, labels ...Label) (float64, bool) {
 	v, ok := s[name+labelSig(labels)]
 	return v, ok
+}
+
+// exemplarSep marks the start of an OpenMetrics exemplar suffix on a
+// bucket line. Label values never contain it: '#' survives escaping but
+// the surrounding ` # {` sequence cannot appear inside the quoted
+// series part followed by a value.
+const exemplarSep = " # {"
+
+// ParseExemplars reads the exemplar suffixes out of an exposition:
+// series (rendered form, including the le label) → exemplar. Lines
+// without an exemplar are skipped; malformed suffixes are an error so
+// the exposition test proves the format machine-readable.
+func ParseExemplars(r io.Reader) (map[string]Exemplar, error) {
+	out := map[string]Exemplar{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.Index(line, exemplarSep)
+		if cut < 0 {
+			continue
+		}
+		sample, suffix := strings.TrimSpace(line[:cut]), line[cut+len(" # "):]
+		keyEnd := strings.LastIndexByte(sample, ' ')
+		if keyEnd < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value before exemplar in %q", lineNo, line)
+		}
+		series := sample[:keyEnd]
+		// suffix is `{request_id="..."} value ts`.
+		labEnd := strings.IndexByte(suffix, '}')
+		if !strings.HasPrefix(suffix, "{") || labEnd < 0 {
+			return nil, fmt.Errorf("obs: line %d: malformed exemplar labels in %q", lineNo, line)
+		}
+		var ex Exemplar
+		labs := suffix[1:labEnd]
+		const idKey = `request_id="`
+		if i := strings.Index(labs, idKey); i >= 0 {
+			rest := labs[i+len(idKey):]
+			if j := strings.IndexByte(rest, '"'); j >= 0 {
+				ex.RequestID = rest[:j]
+			}
+		}
+		fields := strings.Fields(suffix[labEnd+1:])
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("obs: line %d: exemplar needs value and timestamp in %q", lineNo, line)
+		}
+		v, err := parseValue(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		ts, err := parseValue(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		ex.Value, ex.TS = v, ts
+		out[series] = ex
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

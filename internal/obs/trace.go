@@ -8,57 +8,209 @@ import (
 	"time"
 )
 
-// Span is one completed stage of a request.
+// Attr is one typed key/value annotation on a span (engine@generation,
+// cache outcome, coalesce role, batch flush size, ...).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// CountDelta is one named op-count delta attributed to a span — the
+// portion of a core.Stats counter that this span's own work (excluding
+// child spans) accounts for.
+type CountDelta struct {
+	Name string
+	V    int64
+}
+
+// Span is one stage of a request. Spans nest: a compute span contains
+// the algorithm span, which may contain sub-algorithm spans (APX-sum
+// delegating to GD). Name, Start and Dur are exported for the flat
+// accessors; attributes, counts and children are reached through
+// methods so nil spans (tracing disabled) stay safe to annotate.
 type Span struct {
 	Name  string
 	Start time.Time
 	Dur   time.Duration
+
+	attrs    []Attr
+	counts   []CountDelta
+	children []*Span
+	parent   *Span
+	tr       *Trace
 }
 
-// Trace records the stages of one request — decode, admission wait,
-// compute, encode — so structured logs and stage histograms can
-// attribute latency instead of reporting one opaque wall time. A Trace
-// belongs to a single goroutine; the zero value is ready to use.
+// Trace records the stages of one request as a tree of spans so
+// structured logs, the EXPLAIN report and the slow-query log can
+// attribute latency and op counts instead of reporting one opaque wall
+// time. A Trace belongs to a single goroutine (batch execution hands
+// the whole trace to the flush goroutine and takes it back over a
+// channel, so the single-owner rule holds there too).
 type Trace struct {
-	ID    string
-	spans []Span
+	ID   string
+	root *Span
+	cur  *Span
+	done []*Span
 }
 
-// NewTrace returns a trace tagged with a request id.
+// NewTrace returns a trace tagged with a request id. The root span is
+// open from this moment and represents the whole request.
 func NewTrace(id string) *Trace {
-	return &Trace{ID: id, spans: make([]Span, 0, 6)}
+	t := &Trace{ID: id}
+	t.root = &Span{Name: "request", Start: time.Now(), tr: t}
+	t.cur = t.root
+	return t
 }
 
-// Start opens a stage and returns the func that closes it. Stages are
-// expected to nest trivially (each closed before the next opens);
-// nothing enforces it — a trace is a flat list of timed sections, not a
-// tree.
-func (t *Trace) Start(name string) (end func()) {
+// Root returns the span covering the whole request (nil for a nil
+// trace). Request-scoped attributes (engine, outcome, degraded) belong
+// here.
+func (t *Trace) Root() *Span {
 	if t == nil {
-		return func() {}
+		return nil
 	}
-	start := time.Now()
-	return func() {
-		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: time.Since(start)})
+	return t.root
+}
+
+// StartSpan opens a child of the innermost open span and makes it
+// current. Returns nil (safe to annotate and End) on a nil trace.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Name: name, Start: time.Now(), parent: t.cur, tr: t}
+	t.cur.children = append(t.cur.children, sp)
+	t.cur = sp
+	return sp
+}
+
+// Start opens a stage and returns the func that closes it — the flat
+// API kept for call sites that never annotate the span.
+func (t *Trace) Start(name string) (end func()) {
+	sp := t.StartSpan(name)
+	return func() { sp.End() }
+}
+
+// End closes the span, records its duration, and pops it off the
+// trace's open stack. Safe on nil; ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil || s.Dur != 0 {
+		return
+	}
+	s.Dur = time.Since(s.Start)
+	if s.tr != nil {
+		s.tr.done = append(s.tr.done, s)
+		if s.tr.cur == s {
+			s.tr.cur = s.parent
+		}
 	}
 }
 
-// Spans returns the completed stages in completion order.
+// SetAttr annotates the span. Safe on nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attr returns the value of an attribute and whether it is present.
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Count attributes a named op-count delta to this span. Zero deltas are
+// dropped so reports only list counters the span actually moved. Safe
+// on nil.
+func (s *Span) Count(name string, v int64) {
+	if s == nil || v == 0 {
+		return
+	}
+	s.counts = append(s.counts, CountDelta{Name: name, V: v})
+}
+
+// CountValue returns the span's own delta for a named counter
+// (excluding children).
+func (s *Span) CountValue(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	var v int64
+	for _, c := range s.counts {
+		if c.Name == name {
+			v += c.V
+		}
+	}
+	return v
+}
+
+// SubtreeCount returns the named counter summed over this span and all
+// descendants.
+func (s *Span) SubtreeCount(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	v := s.CountValue(name)
+	for _, c := range s.children {
+		v += c.SubtreeCount(name)
+	}
+	return v
+}
+
+// ChildrenCount sums the named counter over the span's child subtrees —
+// what a parent subtracts from its raw Stats delta so its own count is
+// self time, keeping per-span counts disjoint (they sum to the request
+// total).
+func (s *Span) ChildrenCount(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	var v int64
+	for _, c := range s.children {
+		v += c.SubtreeCount(name)
+	}
+	return v
+}
+
+// Children returns the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
+}
+
+// Spans returns the completed spans in completion order — the flat view
+// the per-request log line reads stage durations from.
 func (t *Trace) Spans() []Span {
 	if t == nil {
 		return nil
 	}
-	return t.spans
+	out := make([]Span, len(t.done))
+	for i, sp := range t.done {
+		out[i] = *sp
+	}
+	return out
 }
 
-// Dur returns the recorded duration of the named stage (0 if absent).
+// Dur returns the recorded duration of the first completed span with
+// the given name (0 if absent).
 func (t *Trace) Dur(name string) time.Duration {
 	if t == nil {
 		return 0
 	}
-	for _, s := range t.spans {
-		if s.Name == name {
-			return s.Dur
+	for _, sp := range t.done {
+		if sp.Name == name {
+			return sp.Dur
 		}
 	}
 	return 0

@@ -53,13 +53,24 @@ func NewBatcher(window time.Duration, maxSize int, source func(engine string) En
 
 type batchTask struct {
 	ctx context.Context
+	id  string // request id of the submitting caller
 	run func(core.GPhi) ([]core.Answer, error)
 	res chan taskResult // buffered(1): flush never blocks on a gone member
 }
 
 type taskResult struct {
 	answers []core.Answer
+	info    BatchInfo
 	err     error
+}
+
+// BatchInfo describes the flush a task executed in: the request id of
+// the batch's opener (the member whose arrival started the collection
+// window — the "leader" every member's log line can be correlated by)
+// and how many members the flush carried.
+type BatchInfo struct {
+	Leader string
+	Size   int
 }
 
 type batch struct {
@@ -69,11 +80,13 @@ type batch struct {
 }
 
 // Do submits run for execution under key and waits for its result or
-// ctx. run receives a Reset-ready engine checked out from the key's
-// pool; it executes on the flush goroutine, sequenced with the other
-// members of its batch.
-func (b *Batcher) Do(ctx context.Context, key BatchKey, run func(core.GPhi) ([]core.Answer, error)) ([]core.Answer, error) {
-	t := &batchTask{ctx: ctx, run: run, res: make(chan taskResult, 1)}
+// ctx. id is the caller's request id, recorded so every member of the
+// flush can name its leader. run receives a Reset-ready engine checked
+// out from the key's pool; it executes on the flush goroutine,
+// sequenced with the other members of its batch. The returned BatchInfo
+// is zero when the caller's ctx ended before the flush delivered.
+func (b *Batcher) Do(ctx context.Context, key BatchKey, id string, run func(core.GPhi) ([]core.Answer, error)) ([]core.Answer, BatchInfo, error) {
+	t := &batchTask{ctx: ctx, id: id, run: run, res: make(chan taskResult, 1)}
 	b.mu.Lock()
 	bt := b.pending[key]
 	if bt == nil {
@@ -89,9 +102,9 @@ func (b *Batcher) Do(ctx context.Context, key BatchKey, run func(core.GPhi) ([]c
 	}
 	select {
 	case r := <-t.res:
-		return r.answers, r.err
+		return r.answers, r.info, r.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, BatchInfo{}, ctx.Err()
 	}
 }
 
@@ -123,13 +136,14 @@ func (b *Batcher) runBatch(key BatchKey, tasks []*batchTask) {
 	if b.onFlush != nil {
 		b.onFlush(len(tasks))
 	}
+	info := BatchInfo{Leader: tasks[0].id, Size: len(tasks)}
 	actx, cancel := allDoneContext(tasks)
 	defer cancel()
 	src := b.source(key.Engine)
 
 	deliverErr := func(ts []*batchTask, err error) {
 		for _, t := range ts {
-			t.res <- taskResult{err: err}
+			t.res <- taskResult{info: info, err: err}
 		}
 	}
 
@@ -140,13 +154,13 @@ func (b *Batcher) runBatch(key BatchKey, tasks []*batchTask) {
 	}
 	for i, t := range tasks {
 		if err := t.ctx.Err(); err != nil {
-			t.res <- taskResult{err: err}
+			t.res <- taskResult{info: info, err: err}
 			continue
 		}
 		ans, err, panicked := runBatchTask(gp, t)
 		if panicked {
 			src.Discard()
-			t.res <- taskResult{err: fmt.Errorf("qcache: batched query panicked: %v", err)}
+			t.res <- taskResult{info: info, err: fmt.Errorf("qcache: batched query panicked: %v", err)}
 			gp = nil
 			if i+1 < len(tasks) {
 				gp, err = src.Acquire(actx)
@@ -157,7 +171,7 @@ func (b *Batcher) runBatch(key BatchKey, tasks []*batchTask) {
 			}
 			continue
 		}
-		t.res <- taskResult{answers: ans, err: err}
+		t.res <- taskResult{answers: ans, info: info, err: err}
 	}
 	if gp != nil {
 		src.Release(gp)

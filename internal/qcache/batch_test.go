@@ -58,7 +58,7 @@ func TestBatcherGroupsByKey(t *testing.T) {
 	var wg sync.WaitGroup
 	run := func(key BatchKey, want int) {
 		defer wg.Done()
-		ans, err := b.Do(context.Background(), key, func(core.GPhi) ([]core.Answer, error) {
+		ans, _, err := b.Do(context.Background(), key, "rid", func(core.GPhi) ([]core.Answer, error) {
 			return []core.Answer{{P: graph.NodeID(want)}}, nil
 		})
 		if err != nil || len(ans) != 1 || ans[0].P != graph.NodeID(want) {
@@ -95,7 +95,7 @@ func TestBatcherMaxSizeFlushesEarly(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		go func() {
 			defer wg.Done()
-			if _, err := b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+			if _, _, err := b.Do(context.Background(), bkey("E", 1), "rid", func(core.GPhi) ([]core.Answer, error) {
 				return nil, nil
 			}); err != nil {
 				t.Errorf("Do: %v", err)
@@ -116,14 +116,14 @@ func TestBatcherPanicIsolation(t *testing.T) {
 	var boomErr, okErr error
 	go func() {
 		defer wg.Done()
-		_, boomErr = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+		_, _, boomErr = b.Do(context.Background(), bkey("E", 1), "rid", func(core.GPhi) ([]core.Answer, error) {
 			panic("task exploded")
 		})
 	}()
 	go func() {
 		defer wg.Done()
 		time.Sleep(5 * time.Millisecond) // order the submissions: panicker first
-		_, okErr = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+		_, _, okErr = b.Do(context.Background(), bkey("E", 1), "rid", func(core.GPhi) ([]core.Answer, error) {
 			return nil, nil
 		})
 	}()
@@ -152,7 +152,7 @@ func TestBatcherAcquireFailureDeliversToAll(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+			_, _, errs[i] = b.Do(context.Background(), bkey("E", 1), "rid", func(core.GPhi) ([]core.Answer, error) {
 				t.Error("task ran without an engine")
 				return nil, nil
 			})
@@ -176,7 +176,7 @@ func TestBatcherCanceledMemberSkipped(t *testing.T) {
 	var ran atomic.Bool
 	go func() {
 		defer wg.Done()
-		_, canceledErr = b.Do(ctx, bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+		_, _, canceledErr = b.Do(ctx, bkey("E", 1), "rid", func(core.GPhi) ([]core.Answer, error) {
 			ran.Store(true)
 			return nil, nil
 		})
@@ -185,7 +185,7 @@ func TestBatcherCanceledMemberSkipped(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		time.Sleep(5 * time.Millisecond)
-		_, okErr = b.Do(context.Background(), bkey("E", 1), func(core.GPhi) ([]core.Answer, error) {
+		_, _, okErr = b.Do(context.Background(), bkey("E", 1), "rid", func(core.GPhi) ([]core.Answer, error) {
 			return nil, nil
 		})
 	}()

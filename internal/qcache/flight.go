@@ -21,10 +21,11 @@ type Flight struct {
 }
 
 type call struct {
-	done   chan struct{}
-	val    any
-	err    error
-	shared bool
+	done     chan struct{}
+	leaderID string // request id of the caller running the computation
+	val      any
+	err      error
+	shared   bool
 }
 
 // NewFlight builds a Flight. shareable classifies error outcomes that
@@ -38,15 +39,18 @@ func NewFlight(shareable func(error) bool) *Flight {
 
 // Do executes fn once per key among concurrent callers, returning fn's
 // outcome and whether this caller was a follower served by another's
-// computation. A follower whose own ctx ends while waiting returns
+// computation. id is the caller's request id; a follower additionally
+// learns the leader's id, so collapsed work stays correlatable post-hoc
+// (the follower's log line and trace name the request that actually
+// computed). A follower whose own ctx ends while waiting returns
 // ctx.Err() immediately. If the leader's outcome is unshareable the
 // follower loops and competes to become the next leader. fn panics
 // propagate to the leader alone; followers of a panicked leader are
 // promoted as if the leader had been canceled.
-func (f *Flight) Do(ctx context.Context, key ResultKey, fn func() (any, error)) (val any, err error, coalesced bool) {
+func (f *Flight) Do(ctx context.Context, key ResultKey, id string, fn func() (any, error)) (val any, err error, coalesced bool, leader string) {
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err, false
+			return nil, err, false, ""
 		}
 		f.mu.Lock()
 		if c, ok := f.calls[key]; ok {
@@ -54,14 +58,14 @@ func (f *Flight) Do(ctx context.Context, key ResultKey, fn func() (any, error)) 
 			select {
 			case <-c.done:
 				if c.shared {
-					return c.val, c.err, true
+					return c.val, c.err, true, c.leaderID
 				}
 				continue // unshareable outcome: compete to lead
 			case <-ctx.Done():
-				return nil, ctx.Err(), false
+				return nil, ctx.Err(), false, ""
 			}
 		}
-		c := &call{done: make(chan struct{})}
+		c := &call{done: make(chan struct{}), leaderID: id}
 		f.calls[key] = c
 		f.mu.Unlock()
 
@@ -83,6 +87,6 @@ func (f *Flight) Do(ctx context.Context, key ResultKey, fn func() (any, error)) 
 			c.shared = c.err == nil || f.shareable(c.err)
 			finished = true
 		}()
-		return c.val, c.err, false
+		return c.val, c.err, false, id
 	}
 }

@@ -32,7 +32,7 @@ func TestFlightCoalescesConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err, c := f.Do(context.Background(), fkey("k"), func() (any, error) {
+			v, err, c, _ := f.Do(context.Background(), fkey("k"), "rid", func() (any, error) {
 				execs.Add(1)
 				leaderIn()
 				<-release
@@ -77,7 +77,7 @@ func TestFlightSharesClassifiedErrors(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_, err, _ := f.Do(context.Background(), fkey("k"), func() (any, error) {
+		_, err, _, _ := f.Do(context.Background(), fkey("k"), "rid", func() (any, error) {
 			execs.Add(1)
 			close(enter)
 			<-release
@@ -90,7 +90,7 @@ func TestFlightSharesClassifiedErrors(t *testing.T) {
 	<-enter
 	go func() {
 		defer wg.Done()
-		_, err, c := f.Do(context.Background(), fkey("k"), func() (any, error) {
+		_, err, c, _ := f.Do(context.Background(), fkey("k"), "rid", func() (any, error) {
 			execs.Add(1)
 			return nil, nil
 		})
@@ -116,7 +116,7 @@ func TestFlightCanceledLeaderDoesNotPoisonFollowers(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, err, _ := f.Do(leaderCtx, fkey("k"), func() (any, error) {
+		_, err, _, _ := f.Do(leaderCtx, fkey("k"), "rid", func() (any, error) {
 			execs.Add(1)
 			close(leaderIn)
 			<-leaderCtx.Done() // a canceled computation reports the ctx error
@@ -133,7 +133,7 @@ func TestFlightCanceledLeaderDoesNotPoisonFollowers(t *testing.T) {
 	var followerVal any
 	go func() {
 		defer wg.Done()
-		followerVal, followerErr, _ = f.Do(context.Background(), fkey("k"), func() (any, error) {
+		followerVal, followerErr, _, _ = f.Do(context.Background(), fkey("k"), "rid", func() (any, error) {
 			execs.Add(1)
 			return "recomputed", nil
 		})
@@ -154,7 +154,7 @@ func TestFlightFollowerOwnCancellation(t *testing.T) {
 	f := testFlight()
 	leaderIn := make(chan struct{})
 	release := make(chan struct{})
-	go f.Do(context.Background(), fkey("k"), func() (any, error) {
+	go f.Do(context.Background(), fkey("k"), "rid", func() (any, error) {
 		close(leaderIn)
 		<-release
 		return 1, nil
@@ -163,7 +163,7 @@ func TestFlightFollowerOwnCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err, _ := f.Do(ctx, fkey("k"), func() (any, error) { return 2, nil })
+		_, err, _, _ := f.Do(ctx, fkey("k"), "rid", func() (any, error) { return 2, nil })
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -192,7 +192,7 @@ func TestFlightPanickingLeader(t *testing.T) {
 				t.Errorf("panic did not propagate to leader")
 			}
 		}()
-		f.Do(context.Background(), fkey("k"), func() (any, error) {
+		f.Do(context.Background(), fkey("k"), "rid", func() (any, error) {
 			close(leaderIn)
 			<-release
 			panic("boom")
@@ -202,7 +202,7 @@ func TestFlightPanickingLeader(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		v, err, _ := f.Do(context.Background(), fkey("k"), func() (any, error) { return "ok", nil })
+		v, err, _, _ := f.Do(context.Background(), fkey("k"), "rid", func() (any, error) { return "ok", nil })
 		if err != nil || v != "ok" {
 			t.Errorf("follower after panic: (%v, %v)", v, err)
 		}

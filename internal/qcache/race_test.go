@@ -103,7 +103,7 @@ func TestRaceHammerFlight(t *testing.T) {
 				}
 				func() {
 					defer func() { recover() }() // mode 3 panics
-					f.Do(ctx, key, func() (any, error) {
+					f.Do(ctx, key, "rid", func() (any, error) {
 						switch mode {
 						case 0:
 							return i, nil

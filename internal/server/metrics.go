@@ -137,6 +137,7 @@ var knownRoutes = map[string]string{
 	"/readyz":       "readyz",
 	"/metrics":      "metrics",
 	"/admin/reload": "admin_reload",
+	"/debug/slow":   "debug_slow",
 }
 
 func routeLabel(path string) string {
@@ -159,7 +160,7 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		requestSeconds: make(map[string]*obs.Histogram, len(knownRoutes)+1),
 		indexFaults:    make(map[string]*obs.Counter, len(s.reload)),
 	}
-	for _, route := range []string{"fann", "dist", "meta", "healthz", "readyz", "metrics", "admin_reload", "other"} {
+	for _, route := range []string{"fann", "dist", "meta", "healthz", "readyz", "metrics", "admin_reload", "debug_slow", "other"} {
 		m.requestSeconds[route] = reg.Histogram(mRequestSeconds,
 			"HTTP request latency by route.", obs.DefBuckets, obs.L("route", route))
 	}
@@ -320,12 +321,14 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 
 // observeRequest records one finished HTTP request. The status counter is
 // fetched through the registry (one mutex-guarded lookup per request —
-// cheap next to JSON decoding); the latency histogram is prefetched.
-func (m *serverMetrics) observeRequest(route string, status int, elapsed time.Duration) {
+// cheap next to JSON decoding); the latency histogram is prefetched. id
+// tags the latency bucket with an exemplar, linking a /metrics p99 spike
+// back to the request trace captured at /debug/slow.
+func (m *serverMetrics) observeRequest(route string, status int, elapsed time.Duration, id string) {
 	m.reg.Counter(mRequestsTotal, "HTTP requests by route and status code.",
 		obs.L("route", route), obs.L("code", strconv.Itoa(status))).Inc()
 	if h, ok := m.requestSeconds[route]; ok {
-		h.Observe(elapsed.Seconds())
+		h.ObserveEx(elapsed.Seconds(), id)
 	}
 }
 
@@ -364,6 +367,6 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
-		s.metrics.observeRequest(routeLabel(r.URL.Path), rec.status, time.Since(start))
+		s.metrics.observeRequest(routeLabel(r.URL.Path), rec.status, time.Since(start), id)
 	})
 }

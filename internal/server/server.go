@@ -122,6 +122,12 @@ type Options struct {
 	// BatchMax flushes a batch early once it holds this many queries
 	// (0 = 32).
 	BatchMax int
+	// SlowLogEntries sizes the always-on slow-query log served at
+	// /debug/slow: the N slowest requests plus the N most recent
+	// erroring/degraded requests are retained with their full traces
+	// (0 = 64). The capture fast path is one atomic compare for requests
+	// below the current slowness floor.
+	SlowLogEntries int
 }
 
 // Server answers FANN_R queries over HTTP.
@@ -181,6 +187,10 @@ type Server struct {
 	// ranges registers every live index mapping so the fault guard can
 	// attribute SIGBUS page-ins to the index that owns the page.
 	ranges *lifecycle.Ranges
+	// slow is the always-on slow-query log behind /debug/slow: full
+	// traces of the N slowest requests plus a ring of recent
+	// erroring/degraded ones.
+	slow *obs.SlowLog
 }
 
 // indexSize splits an index's footprint by where the bytes live.
@@ -216,6 +226,11 @@ func New(g *graph.Graph, opts Options) (*Server, error) {
 		engineIndex:      map[string]string{},
 		ranges:           lifecycle.NewRanges(),
 	}
+	slowEntries := opts.SlowLogEntries
+	if slowEntries <= 0 {
+		slowEntries = 64
+	}
+	s.slow = obs.NewSlowLog(slowEntries)
 	if sized, ok := opts.PHL.(memorySized); ok {
 		sz := indexSize{heap: sized.MemoryBytes()}
 		if mm, ok := opts.PHL.(mappedSized); ok {
@@ -440,6 +455,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /dist", s.handleDist)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /debug/slow", s.slow.Handler())
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -732,6 +748,10 @@ type FANNResponse struct {
 	Micros   int64        `json:"micros"`
 	Engine   string       `json:"engine"`
 	Degraded bool         `json:"degraded,omitempty"`
+	// Explain carries the hierarchical trace report when the request
+	// asked for it (?explain=1 or X-Fannr-Explain) — the EXPLAIN ANALYZE
+	// view of the answer above it.
+	Explain *obs.Report `json:"explain,omitempty"`
 }
 
 // maxFANNBody bounds the /fann request body (point sets can be large but
@@ -747,14 +767,18 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	// exit path, so failed requests are logged with their outcome code
 	// just like successes.
 	tr := obs.NewTrace(requestID(r.Context()))
+	explain := r.URL.Query().Get("explain") == "1" || r.Header.Get("X-Fannr-Explain") != ""
 	stats := &core.Stats{}
 	start := time.Now()
 	outcome := "ok"
 	served, degraded := "", false
 	cacheKind := "" // "exact" | "coalesced" | "" (computed or cache off)
+	leaderID := ""  // coalesce/batch leader this request's answer came from
+	batchSize := 0  // members in this request's flush (0 = not batched)
 	var req FANNRequest
 	var q core.Query
 	defer func() {
+		elapsed := time.Since(start)
 		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "fann",
 			slog.String("request_id", tr.ID),
 			slog.String("engine", req.Engine),
@@ -766,17 +790,39 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			slog.Int("nq", len(q.Q)),
 			slog.Int("k", req.K),
 			slog.String("outcome", outcome),
-			slog.Duration("duration", time.Since(start)),
+			slog.Duration("duration", elapsed),
 			slog.Duration("decode", tr.Dur("decode")),
+			slog.Duration("cache_lookup", tr.Dur("cache")),
+			slog.Duration("coalesce", tr.Dur("coalesce")),
+			slog.Duration("batch", tr.Dur("batch")),
 			slog.Duration("admit", tr.Dur("admit")),
+			slog.Duration("pin", tr.Dur("pin")),
 			slog.Duration("compute", tr.Dur("compute")),
 			slog.Int64("gphi_evals", stats.GPhiEvals),
 			slog.Int64("settled", stats.Settled),
 			slog.Int64("heap_pops", stats.HeapPops),
 			slog.String("cache", cacheKind),
+			slog.String("leader", leaderID),
+			slog.Int("batch_size", batchSize),
 			slog.Int64("cache_hits", stats.CacheHits),
 			slog.Int64("cache_misses", stats.CacheMisses),
 		)
+		// Feed the slow-query log last, with the finished trace: the N
+		// slowest requests and every errored/degraded one keep their full
+		// span tree retrievable at /debug/slow?id=<request_id>.
+		root := tr.Root()
+		root.SetAttr("outcome", outcome)
+		root.End()
+		s.slow.Record(obs.SlowEntry{
+			RequestID: tr.ID,
+			Algo:      req.Algo,
+			Engine:    served,
+			Outcome:   outcome,
+			Degraded:  degraded,
+			Start:     start,
+			DurMicros: elapsed.Microseconds(),
+			Trace:     tr.Report(),
+		}, outcome != "ok" || degraded)
 	}()
 	// failq classifies, records the outcome code, and writes the error.
 	failq := func(err error) {
@@ -790,7 +836,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		failq(decodeErr(err))
 		return
 	}
-	q = core.Query{P: req.P, Q: req.Q, Phi: req.Phi, Stats: stats}
+	q = core.Query{P: req.P, Q: req.Q, Phi: req.Phi, Stats: stats, Trace: tr}
 	switch req.Agg {
 	case "", "max":
 		q.Agg = core.Max
@@ -841,6 +887,15 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	}
 	breaker := s.breakers[served]
 	em := s.metrics.engines[served]
+	root := tr.Root()
+	root.SetAttr("engine", engineName)
+	root.SetAttr("served", served)
+	if gen := s.engineGeneration(served); gen != 0 {
+		root.SetAttr("generation", gen)
+	}
+	if degraded {
+		root.SetAttr("degraded", true)
+	}
 
 	// Every breaker verdict goes through report, which remembers that one
 	// was recorded. A half-open probe MUST report — until it does the
@@ -893,9 +948,16 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	// Exact result hit: answer without an engine checkout. The breaker is
 	// not consulted — serving from memory says nothing about the engine.
 	if accel {
+		cacheSp := tr.StartSpan("cache")
+		cacheSp.SetAttr("key_engine", rkey.Engine)
 		if cached, ok := s.qc.GetResult(rkey); ok {
 			stats.CountCacheHit()
 			cacheKind = "exact"
+			// The span carries the hit so per-span counts still sum to the
+			// request's counter deltas (no algorithm span ran).
+			cacheSp.SetAttr("outcome", "exact")
+			cacheSp.Count("cache_hits", 1)
+			cacheSp.End()
 			if degraded {
 				em.degraded.Inc()
 			}
@@ -903,9 +965,14 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 			for _, a := range cached {
 				resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
 			}
+			if explain {
+				resp.Explain = tr.Report()
+			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
+		cacheSp.SetAttr("outcome", "miss")
+		cacheSp.End()
 	}
 
 	var computeMicros int64
@@ -926,8 +993,14 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 
 		if s.batcher != nil && accel {
 			endCompute := tr.Start("compute")
+			// The batch span covers queue wait plus execution; the task
+			// closure runs on the flush goroutine while this goroutine is
+			// parked in Do, so the algorithm spans it opens nest here (the
+			// trace crosses over and back through the result channel).
+			batchSp := tr.StartSpan("batch")
 			computeStart := time.Now()
-			answers, err = s.batcher.Do(ctx, qcache.BatchKey{Engine: served, Q: rkey.Q}, func(gp core.GPhi) (banswers []core.Answer, berr error) {
+			var binfo qcache.BatchInfo
+			answers, binfo, err = s.batcher.Do(ctx, qcache.BatchKey{Engine: served, Q: rkey.Q}, tr.ID, func(gp core.GPhi) (banswers []core.Answer, berr error) {
 				// Tasks run on the flush goroutine, whose panic-on-fault
 				// state is independent of ours: arm its guard separately.
 				defer s.ranges.Guard(s.noteIndexFault)(&berr)
@@ -942,9 +1015,20 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 				}()
 				return s.dispatch(req.Algo, eng, q, req.K)
 			})
+			leaderID, batchSize = binfo.Leader, binfo.Size
+			if binfo.Size > 0 {
+				batchSp.SetAttr("leader", binfo.Leader)
+				batchSp.SetAttr("size", binfo.Size)
+				role := "follower"
+				if binfo.Leader == tr.ID {
+					role = "leader"
+				}
+				batchSp.SetAttr("role", role)
+			}
+			batchSp.End()
 			endCompute()
 			computeMicros = time.Since(computeStart).Microseconds()
-			em.compute.Observe(time.Since(computeStart).Seconds())
+			em.compute.ObserveEx(time.Since(computeStart).Seconds(), tr.ID)
 			em.flush(stats)
 			if err == nil {
 				s.qc.PutResult(rkey, answers)
@@ -959,14 +1043,18 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		// generation's pool, and is what keeps the mapping alive while
 		// this request computes, no matter how many swaps land meanwhile.
 		endAdmit := tr.Start("admit")
+		pinSp := tr.StartSpan("pin")
 		pool, pin, err := s.checkout(served)
 		if err != nil {
+			pinSp.End()
 			endAdmit()
 			return nil, err
 		}
 		if pin != nil {
+			pinSp.SetAttr("generation", pin.Generation())
 			defer pin.Release()
 		}
+		pinSp.End()
 		gp, err := pool.Acquire(ctx)
 		endAdmit()
 		if err != nil {
@@ -1019,7 +1107,7 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 		endCompute()
 		elapsed := time.Since(computeStart)
 		computeMicros = elapsed.Microseconds()
-		em.compute.Observe(elapsed.Seconds())
+		em.compute.ObserveEx(elapsed.Seconds(), tr.ID)
 		// Detach before the deferred PutScratch: the answers outlive the
 		// checkout (JSON encoding, the result cache, coalesced followers),
 		// so any subset aliasing the Scratch must be cloned first.
@@ -1039,18 +1127,33 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	var err error
 	coalesced := false
 	if s.flight != nil && accel {
+		coSp := tr.StartSpan("coalesce")
 		var v any
-		v, err, coalesced = s.flight.Do(ctx, rkey, func() (any, error) { return runQuery() })
+		var leader string
+		v, err, coalesced, leader = s.flight.Do(ctx, rkey, tr.ID, func() (any, error) { return runQuery() })
 		if v != nil {
 			answers = v.([]core.Answer)
+		}
+		if leader != "" {
+			leaderID = leader
 		}
 		if coalesced {
 			cacheKind = "coalesced"
 			stats.CountCacheHit()
+			// Attribution fix: the follower's trace and log line name the
+			// leader whose computation produced this answer. The span
+			// carries the coalesced hit so per-span counts still sum to the
+			// request's counter deltas.
+			coSp.SetAttr("role", "follower")
+			coSp.SetAttr("leader", leader)
+			coSp.Count("cache_hits", 1)
 			if m := s.metrics.coalesced; m != nil {
 				m.Inc()
 			}
+		} else {
+			coSp.SetAttr("role", "leader")
 		}
+		coSp.End()
 	} else {
 		answers, err = runQuery()
 	}
@@ -1107,9 +1210,20 @@ func (s *Server) handleFANN(w http.ResponseWriter, r *http.Request) {
 	if coalesced {
 		micros = time.Since(start).Microseconds()
 	}
+	// A computed request whose only cache traffic was partial-list reuse
+	// answered from subsumption: surface that as the cache outcome.
+	if cacheKind == "" && accel && stats.CacheHits > 0 {
+		cacheKind = "subsume"
+	}
+	if cacheKind != "" {
+		root.SetAttr("cache", cacheKind)
+	}
 	resp := FANNResponse{Micros: micros, Engine: served, Degraded: degraded}
 	for _, a := range answers {
 		resp.Answers = append(resp.Answers, FANNAnswer{P: a.P, Dist: a.Dist, Subset: a.Subset})
+	}
+	if explain {
+		resp.Explain = tr.Report()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
