@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-full fuzz-smoke chaos chaos-load explain-smoke bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard bench-load bench-trend
+.PHONY: verify build test vet race race-full fuzz-smoke chaos chaos-load explain-smoke shard-smoke bench-server bench-build bench-json bench-cache bench-overhead bench-hotpath bench-guard bench-load bench-trend bench-shards
 
 ## Tier 1 — compile + unit/integration tests (the seed contract).
 build:
@@ -21,12 +21,13 @@ vet:
 ## (engine pools, HTTP server, parallel index builds, workload draws) plus
 ## the cross-engine differential harness. Heavy cases are trimmed via
 ## -short; drop it for the full hammer.
-race: explain-smoke
+race: explain-smoke shard-smoke
 	$(GO) test -race -short ./internal/server/... ./internal/core/... \
 		./internal/resil/... ./internal/gtree/... ./internal/ch/... \
 		./internal/par/... ./internal/workload/... ./internal/difftest/... \
 		./internal/obs/... ./internal/qcache/... ./internal/lifecycle/... \
-		./internal/phl/... ./internal/sp/... ./internal/rtree/...
+		./internal/phl/... ./internal/sp/... ./internal/rtree/... \
+		./internal/shard/...
 
 ## Explain/observability smoke under the race detector: the nine-engine
 ## span-vs-counter invariant, slow-query capture with exemplar linkage,
@@ -34,6 +35,15 @@ race: explain-smoke
 explain-smoke:
 	$(GO) test -race -run 'TestExplain|TestSlowLog|TestExemplar|TestObserveEx|TestTrace' \
 		./internal/server/ ./internal/obs/ ./internal/core/
+
+## Sharded-serving smoke under the race detector: exactness vs brute at
+## S ∈ {1,2,4}, bound pruning, degraded partial results with one shard
+## down, breaker + /readyz, the error-taxonomy table over the
+## coordinator, and topology-epoch cache invalidation.
+shard-smoke:
+	$(GO) test -race -run 'TestCoordinator|TestHTTPTransport|TestPlan|TestCodec|TestPartitionK' \
+		./internal/shard/ ./internal/gtree/
+	$(GO) test -race -short -run TestDifferentialSharded ./internal/difftest/
 
 ## Race detector over everything, full-size tests (slow).
 race-full:
@@ -50,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run - -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/phl/
 	$(GO) test -run - -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/gtree/
 	$(GO) test -run - -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/ch/
+	$(GO) test -run - -fuzz FuzzShardRPC -fuzztime $(FUZZTIME) ./internal/shard/
 
 ## Fault-injection and overload acceptance: the circuit breaker + chaos
 ## engine contracts, then the server driven through saturation, breaker
@@ -129,3 +140,10 @@ bench-load:
 bench-trend:
 	$(GO) run ./cmd/fannr-bench -json BENCH_TREND.json -queries 16
 	$(GO) run ./cmd/fannr-bench -compare BENCH_PR9.json BENCH_TREND.json
+
+## Sharded-serving benchmark: coordinator overhead (same-run ratio vs a
+## direct single-process engine) and shard fan-out at S ∈ {1,2,4} on a
+## clustered workload; fails unless the g_φ bound prunes (mean shards
+## contacted < S). BENCH_PR10.json is the checked-in run.
+bench-shards:
+	$(GO) run ./cmd/fannr-bench -shards BENCH_PR10.json -scale 0.015625 -queries 16

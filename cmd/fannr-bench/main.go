@@ -37,6 +37,7 @@ func main() {
 		cacheOut = flag.String("cache", "", "write the semantic-cache benchmark report (hit rate + latency-saved quantiles under a Zipf-repeat workload) to this file and exit")
 		hotOut   = flag.String("hotpath", "", "write the hot-path benchmark report (batched vs per-pair distance lookups per engine) to this file and exit")
 		loadOut  = flag.String("load", "", "write the index load benchmark report (time-to-first-query, heap vs zero-copy mmap, same-run ratio) to this file and exit")
+		shardOut = flag.String("shards", "", "write the sharded-serving benchmark report (coordinator overhead as a same-run ratio + shards contacted/pruned per query at S=1,2,4) to this file and exit")
 		guardIn  = flag.String("guard", "", "run the hot-path benchmark and fail if any IER engine's batched cold p50 AND same-run speedup both regress >10% against this baseline report")
 		compare  = flag.Bool("compare", false, "compare two -json reports (old.json new.json as positional args) with same-run ratio normalization; exit non-zero on >10% normalized regressions")
 	)
@@ -94,6 +95,13 @@ func main() {
 		}
 		return
 	}
+	if *shardOut != "" {
+		if err := writeShardBench(*shardOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fannr-bench: -shards: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *guardIn != "" {
 		if err := guardHotpath(*guardIn, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "fannr-bench: -guard: %v\n", err)
@@ -102,7 +110,7 @@ func main() {
 		return
 	}
 	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache, -hotpath, -load, -guard, -compare)")
+		fmt.Fprintln(os.Stderr, "fannr-bench: -exp required (or -list, -json, -cache, -hotpath, -load, -shards, -guard, -compare)")
 		os.Exit(2)
 	}
 	ids := []string{*expID}
@@ -258,6 +266,37 @@ func writeLoadBench(path string, cfg fannr.ExpConfig) error {
 			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
 		}
 		return fmt.Errorf("%d load-path violation(s)", len(violations))
+	}
+	return nil
+}
+
+// writeShardBench runs the sharded-serving benchmark, enforces the
+// pruning invariant (mean shards contacted < S on the clustered
+// workload), and writes the report.
+func writeShardBench(path string, cfg fannr.ExpConfig) error {
+	start := time.Now()
+	report, err := fannr.RunShardBench(cfg)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, bc := range report.Configs {
+		fmt.Printf("[shards S=%d: coord p50 %dµs vs direct %dµs (%.2f× overhead), contacted %.2f pruned %.2f of %.2f candidate shards/query]\n",
+			bc.Shards, bc.CoordP50Micros, bc.DirectP50Micros, bc.CoordOverhead,
+			bc.MeanContacted, bc.MeanPruned, bc.CandidateShards)
+	}
+	fmt.Printf("[shard report written to %s in %s]\n", path, time.Since(start).Round(time.Millisecond))
+	if violations := fannr.GuardShard(report); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		return fmt.Errorf("%d shard-pruning violation(s)", len(violations))
 	}
 	return nil
 }

@@ -377,6 +377,10 @@ type (
 	// -load emits: heap vs zero-copy mmap load latency per index, as a
 	// same-run ratio.
 	LoadReport = exp.LoadReport
+	// ShardBenchReport is the scatter-gather serving benchmark fannr-bench
+	// -shards emits: coordinator overhead (coordinated / direct wall time,
+	// same run) and shard fan-out counts per shard count.
+	ShardBenchReport = exp.ShardBenchReport
 	// BenchComparison is the trend diff of two -json bench reports
 	// (fannr-bench -compare): per-algorithm lines plus CI-failing
 	// violations.
@@ -423,6 +427,21 @@ func RunLoadBench(cfg ExpConfig) (*LoadReport, error) { return exp.RunLoadBench(
 // open at least minSpeedup× faster mmapped than heap-deserialized.
 func GuardLoad(report *LoadReport, minSpeedup float64) []string {
 	return exp.GuardLoad(report, minSpeedup)
+}
+
+// RunShardBench measures the sharded scatter-gather serving path against
+// the direct single-process engine, same workload same run, at each of
+// counts (default 1, 2, 4) — coordinator overhead as a same-run ratio
+// plus mean shards contacted/pruned per query (fannr-bench -shards).
+func RunShardBench(cfg ExpConfig, counts ...int) (*ShardBenchReport, error) {
+	return exp.RunShardBench(cfg, counts...)
+}
+
+// GuardShard checks a shard report's pruning invariant: at every shard
+// count above one, mean shards contacted must be strictly below the
+// count — the per-shard g_φ bound demonstrably pruning.
+func GuardShard(report *ShardBenchReport) []string {
+	return exp.GuardShard(report)
 }
 
 // CompareBench diffs two fannr-bench -json reports with same-run ratio

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"fannr/internal/graph"
+)
+
+// Dispatch routes a named algorithm to its implementation: the single-
+// answer entry point for k == 1 and the k-FANN_R adaptation otherwise,
+// normalized to an answer list either way. It is the one place the wire
+// names ("gd", "rlist", "ier", "exactmax", "apxsum") are bound to code,
+// shared by the HTTP server and the shard hosts so a query dispatched
+// locally and one dispatched through the coordinator run identical
+// paths. An empty algo defaults to GD; unknown names and IER without
+// coordinates are client faults (ErrInvalid).
+func Dispatch(g *graph.Graph, algo string, gp GPhi, q Query, k int) ([]Answer, error) {
+	single := func(a Answer, err error) ([]Answer, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []Answer{a}, nil
+	}
+	switch algo {
+	case "", "gd":
+		if k > 1 {
+			return KGD(g, gp, q, k)
+		}
+		return single(GD(g, gp, q))
+	case "rlist":
+		if k > 1 {
+			return KRList(g, gp, q, k)
+		}
+		return single(RList(g, gp, q))
+	case "ier":
+		if !g.HasCoords() {
+			return nil, fmt.Errorf("%w: algorithm \"ier\" needs coordinates, which dataset %q lacks", ErrInvalid, g.Name())
+		}
+		rtP := BuildPTree(g, q.P)
+		if k > 1 {
+			return KIERKNN(g, rtP, gp, q, k, IEROptions{})
+		}
+		return single(IERKNN(g, rtP, gp, q, IEROptions{}))
+	case "exactmax":
+		if k > 1 {
+			return KExactMax(g, gp, q, k)
+		}
+		return single(ExactMax(g, gp, q))
+	case "apxsum":
+		if k > 1 {
+			return KAPXSum(g, gp, q, k)
+		}
+		return single(APXSum(g, gp, q))
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrInvalid, algo)
+	}
+}
+
+// KnownAlgo reports whether name is a dispatchable algorithm name.
+func KnownAlgo(name string) bool {
+	switch name {
+	case "", "gd", "rlist", "ier", "exactmax", "apxsum":
+		return true
+	}
+	return false
+}

@@ -43,6 +43,16 @@ import (
 type Env struct {
 	G       *graph.Graph
 	Engines []core.GPhi
+
+	// Tree is the G-tree the suite was assembled with; the sharded
+	// harness reuses it to cut partition plans without rebuilding.
+	Tree *gtree.Tree
+
+	// names and factories let the sharded harness stamp out fresh engine
+	// instances per shard host over the indexes already built here
+	// (indexes are shared read-only; queriers are per-instance).
+	names     []string
+	factories map[string]core.EngineFactory
 }
 
 // NewEnv generates a connected random road network of roughly the given
@@ -71,7 +81,7 @@ func assembleEnv(g *graph.Graph, labels *phl.Index, tr *gtree.Tree) (*Env, error
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{G: g}
+	env := &Env{G: g, Tree: tr}
 	env.Engines = append(env.Engines,
 		core.NewINE(g),
 		core.NewOracleGPhi("A*", sp.NewAStar(g)),
@@ -80,6 +90,29 @@ func assembleEnv(g *graph.Graph, labels *phl.Index, tr *gtree.Tree) (*Env, error
 		core.NewOracleGPhi("CH", chIx.NewQuerier()),
 		core.NewGTreeGPhi(tr),
 	)
+	ierFactory := func(name string, oracle func() core.Oracle) core.EngineFactory {
+		return func() core.GPhi {
+			e, err := core.NewIERGPhi(name, g, oracle())
+			if err != nil {
+				// assembleEnv already built this engine once over the same
+				// graph, so a factory failure is unreachable; shard hosts
+				// contain engine panics either way.
+				panic(err)
+			}
+			return e
+		}
+	}
+	env.factories = map[string]core.EngineFactory{
+		"INE":        func() core.GPhi { return core.NewINE(g) },
+		"A*":         func() core.GPhi { return core.NewOracleGPhi("A*", sp.NewAStar(g)) },
+		"PHL":        func() core.GPhi { return core.NewOracleGPhi("PHL", labels) },
+		"GTree-SPSP": func() core.GPhi { return core.NewOracleGPhi("GTree-SPSP", tr.NewQuerier()) },
+		"CH":         func() core.GPhi { return core.NewOracleGPhi("CH", chIx.NewQuerier()) },
+		"GTree":      func() core.GPhi { return core.NewGTreeGPhi(tr) },
+		"IER-A*":     ierFactory("IER-A*", func() core.Oracle { return sp.NewAStar(g) }),
+		"IER-PHL":    ierFactory("IER-PHL", func() core.Oracle { return labels }),
+		"IER-CH":     ierFactory("IER-CH", func() core.Oracle { return chIx.NewQuerier() }),
+	}
 	for _, spec := range []struct {
 		name string
 		o    core.Oracle
@@ -93,6 +126,9 @@ func assembleEnv(g *graph.Graph, labels *phl.Index, tr *gtree.Tree) (*Env, error
 			return nil, err
 		}
 		env.Engines = append(env.Engines, e)
+	}
+	for _, e := range env.Engines {
+		env.names = append(env.names, e.Name())
 	}
 	return env, nil
 }

@@ -45,6 +45,46 @@ func TestDifferentialVsBrute(t *testing.T) {
 	}
 }
 
+// TestDifferentialSharded is the scatter-gather acceptance gate: the
+// same ≥ 300-case matrix, each case executed through an in-process
+// sharded deployment at S ∈ {1, 2, 4} and compared against
+// core.KBrute — partitioning, per-shard bounds, pruning and merging must
+// be observationally invisible. A chaos sweep then kills one shard per
+// case and requires the degraded answer to equal brute force over the
+// surviving shards' objects, stamped degraded, never silently wrong.
+func TestDifferentialSharded(t *testing.T) {
+	casesPerEnv := 80 // 4 envs × 80 = 320 cases
+	chaosPerEnv := 10
+	if testing.Short() {
+		casesPerEnv, chaosPerEnv = 20, 3
+	}
+	for _, spec := range envSpecs {
+		t.Run(string(rune('A'+spec.seed-11)), func(t *testing.T) {
+			t.Parallel()
+			env, err := NewEnv(spec.nodes, spec.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se, err := NewShardedEnv(env, 1, 2, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < casesPerEnv; i++ {
+				c := GenCase(spec.seed*10_000+int64(i), env.G)
+				if err := se.RunCaseSharded(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < chaosPerEnv; i++ {
+				c := GenCase(spec.seed*30_000+int64(i), env.G)
+				if err := se.RunCaseShardedChaos(c, 4); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialMmapVsHeap is the beyond-RAM loading gate: the same
 // engine suite is assembled twice, once over heap-loaded and once over
 // mmap-loaded (zero-copy, read-only pages) v4 index files, and the full

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+	"fannr/internal/shard"
+	"fannr/internal/workload"
+)
+
+// ShardBenchReport is the scatter-gather benchmark fannr-bench -shards
+// emits (BENCH_PR10.json in the repository root is one checked-in run).
+// The same clustered-Q workload runs through a direct single-process
+// engine and through coordinated deployments at each shard count, all
+// within one run — the headline numbers are ratios (coordinator overhead
+// = coordinated / direct wall time) and per-query fan-out counts, both
+// immune to the between-run machine-speed variance of a shared 1-CPU
+// bench host; absolute micros are reported for context only.
+type ShardBenchReport struct {
+	Dataset string  `json:"dataset"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	Engine  string  `json:"engine"`
+	// Queries is the number of query instances per shard count (≥ 16:
+	// fan-out means and latency ratios need the sample size).
+	Queries int `json:"queries"`
+	// PSize / QSize describe the workload: |P| uniform data objects, |Q|
+	// clustered query points (2 clusters), φ = 0.5, k = 1.
+	PSize   int                `json:"p_size"`
+	QSize   int                `json:"q_size"`
+	Configs []ShardBenchConfig `json:"configs"`
+}
+
+// ShardBenchConfig is one shard count's measurements.
+type ShardBenchConfig struct {
+	Shards int    `json:"shards"`
+	Epoch  uint64 `json:"epoch"`
+	// DirectP50Micros / CoordP50Micros are the same-run medians of the
+	// direct single-process engine and the coordinated path.
+	DirectP50Micros int64 `json:"direct_p50_micros"`
+	CoordP50Micros  int64 `json:"coord_p50_micros"`
+	// CoordOverhead = Σ coordinated / Σ direct wall time, same run. At
+	// S = 1 this isolates the pure coordination tax (codec round trips,
+	// bound evaluation, merge); at higher S pruning can push it below
+	// the S = 1 value.
+	CoordOverhead float64 `json:"coord_overhead"`
+	// MeanContacted / MeanPruned are per-query shard fan-out averages.
+	// MeanContacted < Shards is the bound actually pruning.
+	MeanContacted float64 `json:"mean_contacted"`
+	MeanPruned    float64 `json:"mean_pruned"`
+	// CandidateShards is the mean number of shards owning ≥ 1 P-object
+	// (the fan-out ceiling SplitP leaves after routing).
+	CandidateShards float64 `json:"candidate_shards"`
+}
+
+// RunShardBench measures coordinator overhead and bound pruning at each
+// of counts (default 1, 2, 4) over one dataset. The workload follows the
+// paper's clustered setting: uniform P (5% of V), |Q| = 8 grown around 2
+// cluster centers inside a quarter-radius region — clustered Q is what
+// gives distant shards large lower bounds, so it is where pruning must
+// show up.
+func RunShardBench(cfg Config, counts ...int) (*ShardBenchReport, error) {
+	cfg = cfg.withDefaults()
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4}
+	}
+	queries := cfg.Queries
+	if queries < 16 {
+		queries = 16 // fan-out means and ratios need the sample size
+	}
+	g, err := workload.LoadDataset(cfg.Dataset, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := gtree.Build(g, gtree.Options{MaxLeafSize: gtreeLeafFor(cfg.Dataset)})
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.NewGenerator(g, cfg.Seed)
+	P := gen.UniformP(0.05)
+	type qcase struct {
+		Q []graph.NodeID
+	}
+	cases := make([]qcase, queries)
+	for i := range cases {
+		cases[i] = qcase{Q: gen.ClusteredQ(0.25, 8, 2)}
+	}
+
+	const engine = "INE"
+	direct := core.NewINE(g)
+	report := &ShardBenchReport{
+		Dataset: cfg.Dataset, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		Scale: cfg.Scale, Seed: cfg.Seed, Engine: engine,
+		Queries: queries, PSize: len(P), QSize: 8,
+	}
+
+	for _, S := range counts {
+		plan, err := shard.NewPlan(g, tree, shard.PlanOptions{Shards: S})
+		if err != nil {
+			return nil, err
+		}
+		transports := make([]shard.Transport, S)
+		for s := 0; s < S; s++ {
+			h := shard.NewHost(s, g, shard.HostOptions{})
+			if err := h.AddEngine(engine, func() core.GPhi { return core.NewINE(g) }); err != nil {
+				return nil, err
+			}
+			transports[s] = shard.InProc{Host: h}
+		}
+		// MaxFanout 1 serializes shard calls in bound order, the setting
+		// under which every prunable shard is actually pruned.
+		coord, err := shard.NewCoordinator(plan, transports, shard.CoordinatorOptions{MaxFanout: 1})
+		if err != nil {
+			return nil, err
+		}
+
+		bc := ShardBenchConfig{Shards: S, Epoch: plan.Epoch}
+		var directTotal, coordTotal time.Duration
+		directDurs := make([]time.Duration, 0, queries)
+		coordDurs := make([]time.Duration, 0, queries)
+		for _, qc := range cases {
+			q := core.Query{P: P, Q: qc.Q, Phi: 0.5, Agg: core.Max}
+
+			start := time.Now()
+			if _, err := core.Dispatch(g, "gd", direct, q, 1); err != nil {
+				return nil, fmt.Errorf("exp: shardbench direct: %w", err)
+			}
+			d := time.Since(start)
+			directTotal += d
+			directDurs = append(directDurs, d)
+
+			start = time.Now()
+			res, err := coord.Execute(context.Background(), &shard.Request{
+				P: P, Q: qc.Q, Phi: 0.5, Agg: "max", Algo: "gd", Engine: engine, K: 1,
+			}, nil)
+			c := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("exp: shardbench S=%d: %w", S, err)
+			}
+			coordTotal += c
+			coordDurs = append(coordDurs, c)
+
+			bc.MeanContacted += float64(res.Contacted)
+			bc.MeanPruned += float64(res.Pruned)
+			bc.CandidateShards += float64(res.Contacted + res.Pruned)
+		}
+		n := float64(queries)
+		bc.MeanContacted /= n
+		bc.MeanPruned /= n
+		bc.CandidateShards /= n
+		bc.DirectP50Micros = medianMicros(directDurs)
+		bc.CoordP50Micros = medianMicros(coordDurs)
+		if directTotal > 0 {
+			bc.CoordOverhead = float64(coordTotal) / float64(directTotal)
+		}
+		report.Configs = append(report.Configs, bc)
+	}
+	return report, nil
+}
+
+// medianMicros returns the median of durs in microseconds.
+func medianMicros(durs []time.Duration) int64 {
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2].Microseconds()
+}
+
+// GuardShard checks the report's pruning invariant: at every shard count
+// above one, the mean number of shards contacted must be strictly below
+// the shard count — the per-shard g_φ lower bound demonstrably pruning
+// on clustered workloads. A deliberately ratio/count-based gate: it
+// holds or fails identically on a fast and a noisy host. It returns the
+// violations found, empty on pass.
+func GuardShard(report *ShardBenchReport) []string {
+	var violations []string
+	for _, bc := range report.Configs {
+		if bc.Shards > 1 && bc.MeanContacted >= float64(bc.Shards) {
+			violations = append(violations, fmt.Sprintf(
+				"S=%d: mean shards contacted %.2f did not beat the fan-out ceiling %d (pruned %.2f/query)",
+				bc.Shards, bc.MeanContacted, bc.Shards, bc.MeanPruned))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,77 @@
+package gtree
+
+import (
+	"math"
+	"sort"
+
+	"fannr/internal/graph"
+)
+
+// PartitionK cuts the indexed graph into k vertex groups along the
+// partition tree: leaves are taken in DFS (leaf-sequence) order and the
+// sequence is cut at k−1 leaf-aligned boundaries chosen so group sizes
+// track |V|/k as closely as leaf granularity allows. Because leafSeq
+// numbers vertices contiguously per leaf DFS, every group covers one
+// contiguous interval of leaf-sequence numbers — the same interval
+// property tree nodes themselves have — so membership ("which group owns
+// vertex v") is one comparison against the group's sequence bounds.
+//
+// The balanced bisection that built the tree already minimizes the edge
+// cut between sibling subtrees, so consecutive-leaf groups inherit small
+// boundaries. Groups come back in leaf-sequence order; a group never
+// splits a leaf. When the tree has fewer than k leaves the trailing
+// groups are empty (a caller asking for more shards than the partition
+// tree can distinguish gets ownerless shards, not an error). k ≤ 1
+// returns every vertex in one group.
+func (t *Tree) PartitionK(k int) [][]graph.NodeID {
+	n := t.g.NumNodes()
+	// Invert leafSeq: byseq[s] is the vertex with sequence number s.
+	byseq := make([]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		byseq[t.leafSeq[v]] = graph.NodeID(v)
+	}
+	if k <= 1 {
+		return [][]graph.NodeID{byseq}
+	}
+
+	// Leaf end positions in sequence order: cuts may only land where one
+	// leaf ends and the next begins. The last end equals n.
+	var ends []int32
+	for i := range t.nodes {
+		if nd := &t.nodes[i]; nd.isLeaf() {
+			ends = append(ends, nd.hi)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	groups := make([][]graph.NodeID, k)
+	lo, li := 0, 0 // next sequence number, next leaf index
+	for gi := 0; gi < k; gi++ {
+		leavesLeft := len(ends) - li
+		if leavesLeft == 0 {
+			break // fewer leaves than groups: the rest stay empty
+		}
+		groupsLeft := k - gi
+		// Take at least one leaf, but keep one per remaining group.
+		maxTake := leavesLeft - (groupsLeft - 1)
+		if maxTake < 1 {
+			maxTake = 1
+		}
+		// Aim each group at an equal share of the remaining vertices;
+		// stop once another leaf would overshoot more than it helps.
+		target := float64(n-lo) / float64(groupsLeft)
+		size, take := 0, 0
+		for take < maxTake {
+			next := int(ends[li+take]) - lo - size
+			if take > 0 && math.Abs(float64(size+next)-target) >= math.Abs(float64(size)-target) {
+				break
+			}
+			size += next
+			take++
+		}
+		groups[gi] = append([]graph.NodeID(nil), byseq[lo:lo+size]...)
+		lo += size
+		li += take
+	}
+	return groups
+}

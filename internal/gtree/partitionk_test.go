@@ -1,0 +1,92 @@
+package gtree
+
+import (
+	"testing"
+
+	"fannr/internal/graph"
+)
+
+// PartitionK must return disjoint groups covering every vertex, each
+// contiguous in leaf-sequence space and roughly balanced.
+func TestPartitionK(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 300, Seed: 7, Name: "partk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(g, Options{MaxLeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for _, k := range []int{1, 2, 3, 4, 7, 8} {
+		groups := tr.PartitionK(k)
+		if len(groups) != k {
+			t.Fatalf("k=%d: got %d groups", k, len(groups))
+		}
+		seen := make([]bool, n)
+		total := 0
+		for gi, grp := range groups {
+			if len(grp) == 0 {
+				continue
+			}
+			// Contiguity: the group covers one leaf-sequence interval.
+			lo, hi := tr.leafSeq[grp[0]], tr.leafSeq[grp[0]]
+			for _, v := range grp {
+				if seen[v] {
+					t.Fatalf("k=%d: vertex %d in two groups", k, v)
+				}
+				seen[v] = true
+				if s := tr.leafSeq[v]; s < lo {
+					lo = s
+				} else if s > hi {
+					hi = s
+				}
+			}
+			if int(hi-lo)+1 != len(grp) {
+				t.Fatalf("k=%d group %d: seq interval [%d,%d] vs %d vertices (not contiguous)",
+					k, gi, lo, hi, len(grp))
+			}
+			total += len(grp)
+		}
+		if total != n {
+			t.Fatalf("k=%d: groups cover %d of %d vertices", k, total, n)
+		}
+		// Balance: with 32-vertex leaves over 300 nodes no group should
+		// exceed its fair share by more than a leaf's worth per side.
+		if k <= 4 {
+			for gi, grp := range groups {
+				fair := n / k
+				if len(grp) > fair+64 || len(grp) < fair-64 {
+					t.Fatalf("k=%d group %d: %d vertices, fair share %d", k, gi, len(grp), fair)
+				}
+			}
+		}
+	}
+}
+
+// PartitionK with more groups than leaves pads with empty groups rather
+// than failing — downstream shards simply own no vertices.
+func TestPartitionKMoreGroupsThanLeaves(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 40, Seed: 3, Name: "partk-small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(g, Options{MaxLeafSize: 64}) // single leaf
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := tr.PartitionK(4)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	total := 0
+	for _, grp := range groups {
+		total += len(grp)
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("groups cover %d of %d vertices", total, g.NumNodes())
+	}
+	if len(groups[0]) == 0 {
+		t.Fatal("first group empty despite nonempty graph")
+	}
+}

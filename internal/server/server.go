@@ -1277,46 +1277,10 @@ func decodeErr(err error) error {
 	return fmt.Errorf("%w: decoding request: %s", core.ErrInvalid, err)
 }
 
+// dispatch delegates to the shared core.Dispatch router (also used by
+// the shard hosts), keeping the wire algorithm names bound in one place.
 func (s *Server) dispatch(algo string, gp core.GPhi, q core.Query, k int) ([]core.Answer, error) {
-	single := func(a core.Answer, err error) ([]core.Answer, error) {
-		if err != nil {
-			return nil, err
-		}
-		return []core.Answer{a}, nil
-	}
-	switch algo {
-	case "", "gd":
-		if k > 1 {
-			return core.KGD(s.g, gp, q, k)
-		}
-		return single(core.GD(s.g, gp, q))
-	case "rlist":
-		if k > 1 {
-			return core.KRList(s.g, gp, q, k)
-		}
-		return single(core.RList(s.g, gp, q))
-	case "ier":
-		if !s.g.HasCoords() {
-			return nil, invalidf("algorithm \"ier\" needs coordinates, which dataset %q lacks", s.g.Name())
-		}
-		rtP := core.BuildPTree(s.g, q.P)
-		if k > 1 {
-			return core.KIERKNN(s.g, rtP, gp, q, k, core.IEROptions{})
-		}
-		return single(core.IERKNN(s.g, rtP, gp, q, core.IEROptions{}))
-	case "exactmax":
-		if k > 1 {
-			return core.KExactMax(s.g, gp, q, k)
-		}
-		return single(core.ExactMax(s.g, gp, q))
-	case "apxsum":
-		if k > 1 {
-			return core.KAPXSum(s.g, gp, q, k)
-		}
-		return single(core.APXSum(s.g, gp, q))
-	default:
-		return nil, invalidf("unknown algorithm %q", algo)
-	}
+	return core.Dispatch(s.g, algo, gp, q, k)
 }
 
 // DistRequest is the /dist request body.

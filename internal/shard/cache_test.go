@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"context"
+	"testing"
+)
+
+// The coordinator's exact cache is keyed by engine@shards:<epoch>:<mask>.
+// A topology change — here a shard dropping out of rotation — must make
+// every previously cached result unreachable, and degraded results must
+// never enter the cache at all.
+func TestCoordinatorCacheTopologyInvalidation(t *testing.T) {
+	const nodes = 260
+	cl := newTestCluster(t, nodes, 21, 4, CoordinatorOptions{CacheEntries: 64})
+	req := testQueries(nodes)[0]
+
+	cold, err := cl.coord.Execute(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("cold query reported a cache hit")
+	}
+	warm, err := cl.coord.Execute(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("identical query under identical topology missed the cache")
+	}
+	if len(warm.Answers) != len(cold.Answers) || warm.Answers[0].Dist != cold.Answers[0].Dist {
+		t.Fatalf("cached answers diverge: %+v vs %+v", warm.Answers, cold.Answers)
+	}
+
+	// Take a shard out of rotation: the healthy mask changes, so the
+	// cached entry (keyed under the old mask) must not be served.
+	down := cl.plan.ShardOf(req.P[0])
+	cl.coord.TripShard(down)
+	after, err := cl.coord.Execute(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CacheHit {
+		t.Fatal("query served from cache across a topology change")
+	}
+	if !after.Degraded {
+		t.Fatalf("tripped shard %d owned req.P[0] yet result is not degraded", down)
+	}
+
+	// Degraded results are never cached: repeating the query under the
+	// degraded topology recomputes again.
+	again, err := cl.coord.Execute(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHit {
+		t.Fatal("degraded result was cached")
+	}
+}

@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+	"fannr/internal/lifecycle"
+	"fannr/internal/resil"
+)
+
+// postCoord posts a raw body to a coordinator handler and returns the
+// status, the Retry-After header, and the decoded error shape.
+func postCoord(t *testing.T, h http.Handler, body string) (int, string, ErrorResponse) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/fann", bytes.NewReader([]byte(body)))
+	h.ServeHTTP(rr, req)
+	var e ErrorResponse
+	_ = json.NewDecoder(rr.Body).Decode(&e)
+	return rr.Code, rr.Header().Get("Retry-After"), e
+}
+
+// TestCoordinatorErrorTaxonomy mirrors the single-process server's error
+// suite through the scatter-gather front end: every failure class keeps
+// the same {status, code} whether the query is served directly or
+// coordinated. Runs over a disconnected two-component graph so 404s are
+// producible alongside the 400s.
+func TestCoordinatorErrorTaxonomy(t *testing.T) {
+	b := graph.NewBuilder(6)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 1)
+	_ = b.AddEdge(3, 4, 1)
+	_ = b.AddEdge(4, 5, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := gtree.Build(g, gtree.Options{MaxLeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(g, tree, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports := make([]Transport, 2)
+	for s := 0; s < 2; s++ {
+		h := NewHost(s, g, HostOptions{})
+		if err := h.AddEngine("INE", func() core.GPhi { return core.NewINE(g) }); err != nil {
+			t.Fatal(err)
+		}
+		transports[s] = InProc{Host: h}
+	}
+	coord, err := NewCoordinator(plan, transports, CoordinatorOptions{
+		Retry: &resil.RetryPolicy{Attempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := coord.Handler()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"malformed json", `{"p":[1,2`, http.StatusBadRequest, "invalid"},
+		{"wrong field type", `{"p":"not-a-list"}`, http.StatusBadRequest, "invalid"},
+		{"empty P", `{"p":[],"q":[0,1],"phi":0.5}`, http.StatusBadRequest, "invalid"},
+		{"empty Q", `{"p":[0],"q":[],"phi":0.5}`, http.StatusBadRequest, "invalid"},
+		{"phi zero", `{"p":[0],"q":[1],"phi":0}`, http.StatusBadRequest, "invalid"},
+		{"phi above one", `{"p":[0],"q":[1],"phi":1.5}`, http.StatusBadRequest, "invalid"},
+		{"node out of range", `{"p":[0,1073741824],"q":[1],"phi":0.5}`, http.StatusBadRequest, "invalid"},
+		{"unknown aggregate", `{"p":[0],"q":[1],"phi":0.5,"agg":"median"}`, http.StatusBadRequest, "invalid"},
+		{"unknown algorithm", `{"p":[0],"q":[1],"phi":0.5,"algo":"psychic"}`, http.StatusBadRequest, "invalid"},
+		{"unknown engine relayed from shard", `{"p":[0],"q":[1],"phi":0.5,"engine":"warp"}`, http.StatusBadRequest, "invalid"},
+		{"unreachable phi-subset", `{"p":[0],"q":[3,4,5],"phi":1}`, http.StatusNotFound, "not_found"},
+		{"unreachable across components", `{"p":[0,1],"q":[5],"phi":1,"algo":"rlist"}`, http.StatusNotFound, "not_found"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, e := postCoord(t, h, tc.body)
+			if status != tc.status {
+				t.Fatalf("status %d, want %d (error %+v)", status, tc.status, e)
+			}
+			if e.Code != tc.code {
+				t.Fatalf("code %q, want %q (error %q)", e.Code, tc.code, e.Error)
+			}
+			if e.Error == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+
+	// Control: the same coordinator still answers a valid query, and the
+	// answers field is a list even when empty elsewhere.
+	rr := httptest.NewRecorder()
+	rr2 := httptest.NewRequest("POST", "/fann", strings.NewReader(`{"p":[0,2],"q":[1,2],"phi":1}`))
+	h.ServeHTTP(rr, rr2)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("control query: status %d body %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), `"answers":[`) {
+		t.Fatalf("answers not a list: %s", rr.Body.String())
+	}
+}
+
+// A shard shedding load (503 + Retry-After) must leave the coordinator
+// as a 503 with the same taxonomy code and a Retry-After header — never
+// flattened into a generic 500. This was the satellite-fix contract.
+func TestCoordinatorRelaysShardSheds(t *testing.T) {
+	const nodes = 260
+	for _, tc := range []struct {
+		name     string
+		checkErr error
+		code     string
+	}{
+		{"quarantined holder", lifecycle.ErrUnavailable, "overloaded"},
+		{"index fault", &lifecycle.IndexFault{Index: "phl", Addr: 0xdead, Cause: "SIGBUS"}, "index_fault"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, tree := testGraph(t, nodes, 21)
+			plan, err := NewPlan(g, tree, PlanOptions{Shards: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			transports := make([]Transport, 2)
+			for s := 0; s < 2; s++ {
+				h := NewHost(s, g, HostOptions{
+					Check: func() error { return tc.checkErr },
+				})
+				if err := h.AddEngine("INE", func() core.GPhi { return core.NewINE(g) }); err != nil {
+					t.Fatal(err)
+				}
+				transports[s] = InProc{Host: h}
+			}
+			coord, err := NewCoordinator(plan, transports, CoordinatorOptions{
+				Retry: &resil.RetryPolicy{Attempts: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, retryAfter, e := postCoord(t, coord.Handler(),
+				`{"p":[1,2,3,100,200],"q":[5,50],"phi":1}`)
+			if status != http.StatusServiceUnavailable {
+				t.Fatalf("status %d, want 503 (error %+v)", status, e)
+			}
+			if e.Code != tc.code {
+				t.Fatalf("code %q, want %q", e.Code, tc.code)
+			}
+			if retryAfter == "" || retryAfter == "0" {
+				t.Fatalf("Retry-After %q not propagated", retryAfter)
+			}
+		})
+	}
+}
+
+// One dead shard is a 200 with the degraded stamp, not an error: partial
+// answers are explicit, never silent, never fatal.
+func TestCoordinatorHandlerDegraded(t *testing.T) {
+	const nodes = 260
+	cl := newDegradedCluster(t, nodes, 21, 4, 1)
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/fann",
+		strings.NewReader(`{"p":[1,17,63,88,140,201,230],"q":[5,99,150,222],"phi":0.5,"agg":"sum","k":3}`))
+	cl.coord.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d body %s", rr.Code, rr.Body.String())
+	}
+	var resp FANNResponse
+	if err := json.NewDecoder(rr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || len(resp.DegradedShards) != 1 || resp.DegradedShards[0] != 1 {
+		t.Fatalf("degraded stamp missing: %+v", resp)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers despite three healthy shards")
+	}
+}

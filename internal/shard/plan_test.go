@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fannr/internal/core"
+	"fannr/internal/graph"
+	"fannr/internal/gtree"
+)
+
+func testGraph(t *testing.T, nodes int, seed int64) (*graph.Graph, *gtree.Tree) {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{Nodes: nodes, Seed: seed, Name: "shard-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gtree.Build(g, gtree.Options{MaxLeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+// Every vertex must belong to exactly the shard SplitP routes it to.
+func TestPlanOwnership(t *testing.T) {
+	g, tr := testGraph(t, 260, 21)
+	plan, err := NewPlan(g, tr, PlanOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards() != 4 {
+		t.Fatalf("Shards() = %d", plan.Shards())
+	}
+	owned := 0
+	for s := 0; s < plan.Shards(); s++ {
+		for _, v := range plan.Group(s) {
+			if plan.ShardOf(v) != s {
+				t.Fatalf("vertex %d: ShardOf %d, group %d", v, plan.ShardOf(v), s)
+			}
+			owned++
+		}
+	}
+	if owned != g.NumNodes() {
+		t.Fatalf("groups own %d of %d vertices", owned, g.NumNodes())
+	}
+	P := []graph.NodeID{0, 5, 99, 201, 13}
+	per := plan.SplitP(P)
+	total := 0
+	for s, ps := range per {
+		total += len(ps)
+		for _, v := range ps {
+			if plan.ShardOf(v) != s {
+				t.Fatalf("SplitP routed %d to shard %d, owner %d", v, s, plan.ShardOf(v))
+			}
+		}
+	}
+	if total != len(P) {
+		t.Fatalf("SplitP dropped objects: %d of %d", total, len(P))
+	}
+}
+
+// The plan epoch must be deterministic for one topology and differ
+// between topologies — it is what invalidates coordinator caches.
+func TestPlanEpoch(t *testing.T) {
+	g, tr := testGraph(t, 260, 21)
+	p2a, err := NewPlan(g, tr, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2b, err := NewPlan(g, tr, PlanOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := NewPlan(g, tr, PlanOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2a.Epoch != p2b.Epoch {
+		t.Fatalf("same topology, different epochs: %d vs %d", p2a.Epoch, p2b.Epoch)
+	}
+	if p2a.Epoch == p4.Epoch {
+		t.Fatalf("S=2 and S=4 share epoch %d", p2a.Epoch)
+	}
+}
+
+// The shard-level bound must never exceed the true g_φ of any candidate
+// the shard owns — this is the exactness of scatter-gather pruning. The
+// check runs g_φ per candidate through brute force and compares.
+func TestBoundIsLowerBound(t *testing.T) {
+	g, tr := testGraph(t, 220, 33)
+	plan, err := NewPlan(g, tr, PlanOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		m := 2 + rng.Intn(8)
+		Q := make([]graph.NodeID, m)
+		for i := range Q {
+			Q[i] = graph.NodeID(rng.Intn(g.NumNodes()))
+		}
+		phi := []float64{0.1, 0.5, 1.0}[rng.Intn(3)]
+		agg := core.Aggregate(rng.Intn(2))
+		q := core.Query{Q: Q, Phi: phi, Agg: agg}
+		q.P = []graph.NodeID{0} // placeholder for K()
+		k := q.K()
+		for s := 0; s < plan.Shards(); s++ {
+			bound := plan.Bound(s, Q, k, agg)
+			for _, p := range plan.Group(s) {
+				single := core.Query{P: []graph.NodeID{p}, Q: Q, Phi: phi, Agg: agg}
+				ans, err := core.Brute(g, single)
+				if err != nil {
+					continue // unreachable candidate: true g_φ is +Inf ≥ bound
+				}
+				if bound > ans.Dist+1e-9*(1+ans.Dist) {
+					t.Fatalf("trial %d shard %d: bound %v > g_φ(%d) = %v (φ=%v agg=%v |Q|=%d)",
+						trial, s, bound, p, ans.Dist, phi, agg, m)
+				}
+			}
+		}
+	}
+}
+
+// Empty shards bound to +Inf so the coordinator never contacts them.
+func TestBoundEmptyShard(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{Nodes: 40, Seed: 3, Name: "shard-tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gtree.Build(g, gtree.Options{MaxLeafSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(g, tr, PlanOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := -1
+	for s := 0; s < plan.Shards(); s++ {
+		if len(plan.Group(s)) == 0 {
+			empty = s
+			break
+		}
+	}
+	if empty == -1 {
+		t.Skip("no empty shard produced")
+	}
+	if b := plan.Bound(empty, []graph.NodeID{1, 2}, 1, core.Max); !math.IsInf(b, 1) {
+		t.Fatalf("empty shard bound = %v, want +Inf", b)
+	}
+}
